@@ -1,0 +1,102 @@
+"""Micro-benchmarks of the core primitives (wall-clock, pytest-benchmark).
+
+These are the genuinely timed benchmarks: mask generation at the paper's
+model sizes, blossom matching at 32-128 workers, Algorithm 3 selection,
+the sparse exchange, and a conv forward/backward step — the per-round
+building blocks whose costs determine simulator throughput.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compression.random_mask import generate_mask
+from repro.core.gossip import AdaptivePeerSelector
+from repro.core.matching import max_cardinality_matching, randomly_max_match
+from repro.core.protocol import ModelExchangeWorker, exchange_pair
+from repro.network.bandwidth import random_uniform_bandwidth
+from repro.nn import Conv2d, CrossEntropyLoss, ResNet20
+
+
+MODEL_SIZE = 6_653_628  # MNIST-CNN (paper Table II)
+
+
+def test_mask_generation_at_paper_scale(benchmark):
+    """Generate the shared Bernoulli(1/100) mask for a 6.65M-param model."""
+    result = benchmark(generate_mask, MODEL_SIZE, 100.0, 42)
+    assert result.size == MODEL_SIZE
+
+
+@pytest.mark.parametrize("n", [32, 64, 128])
+def test_blossom_on_complete_graph(benchmark, n):
+    adjacency = ~np.eye(n, dtype=bool)
+    match = benchmark(max_cardinality_matching, adjacency)
+    assert len(match) == n // 2
+
+
+def test_randomized_matching_sparse_graph(benchmark):
+    rng = np.random.default_rng(0)
+    n = 64
+    upper = rng.random((n, n)) < 0.2
+    adjacency = np.triu(upper, 1)
+    adjacency = adjacency | adjacency.T
+    benchmark(randomly_max_match, adjacency, 0)
+
+
+def test_algorithm3_selection_round(benchmark):
+    """One full Algorithm 3 round at the paper's 32-worker scale."""
+    bandwidth = random_uniform_bandwidth(32, rng=0)
+    selector = AdaptivePeerSelector(bandwidth, connectivity_gap=20, rng=0)
+    counter = iter(range(10**9))
+
+    def round_step():
+        return selector.select(next(counter))
+
+    result = benchmark(round_step)
+    assert len(result.matching) == 16
+
+
+def test_sparse_exchange_at_scale(benchmark):
+    """The per-pair masked exchange on a 1M-parameter model, c=100."""
+    rng = np.random.default_rng(0)
+    size = 1_000_000
+    worker_a = ModelExchangeWorker(0, rng.normal(size=size), 100.0)
+    worker_b = ModelExchangeWorker(1, rng.normal(size=size), 100.0)
+    seeds = iter(range(10**9))
+
+    def step():
+        return exchange_pair(worker_a, worker_b, next(seeds))
+
+    payload_a, _ = benchmark(step)
+    assert payload_a.values.size < size * 0.02
+
+
+def test_conv2d_forward_backward(benchmark):
+    rng = np.random.default_rng(0)
+    layer = Conv2d(16, 16, 3, padding=1, rng=0)
+    inputs = rng.normal(size=(8, 16, 16, 16))
+
+    def step():
+        out = layer.forward(inputs)
+        layer.backward(out)
+        return out
+
+    benchmark(step)
+
+
+def test_resnet20_training_step(benchmark):
+    """One full ResNet-20 forward/backward at the paper's architecture
+    (batch 4, CIFAR shape) — the dominant per-round compute cost."""
+    rng = np.random.default_rng(0)
+    model = ResNet20(rng=0)
+    loss_fn = CrossEntropyLoss()
+    images = rng.normal(size=(4, 3, 32, 32))
+    labels = np.array([0, 1, 2, 3])
+
+    def step():
+        model.zero_grad()
+        logits = model.forward(images)
+        loss, grad = loss_fn(logits, labels)
+        model.backward(grad)
+        return loss
+
+    benchmark.pedantic(step, rounds=3, iterations=1, warmup_rounds=1)

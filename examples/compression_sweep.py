@@ -1,0 +1,90 @@
+"""Parameter-sweep example: compression ratio × peer selection.
+
+Shows the sweep API (`repro.sim.run_sweep` / `grid`) on the paper's two
+knobs at once and prints a tidy table plus the dominance analysis: which
+configuration leads the accuracy-per-MB frontier at every budget.
+
+Run:  python examples/compression_sweep.py
+"""
+
+import numpy as np
+
+from repro.algorithms import SAPSPSGD
+from repro.analysis import dominance_summary, render_table
+from repro.data import make_blobs, partition_iid
+from repro.network import random_uniform_bandwidth
+from repro.nn import MLP
+from repro.sim import (
+    ExperimentConfig,
+    grid,
+    run_sweep,
+    sweep_headers,
+    sweep_table,
+)
+
+NUM_WORKERS = 8
+
+
+def main() -> None:
+    seed = 11
+    full = make_blobs(num_samples=60 * NUM_WORKERS + 200, rng=seed)
+    train, validation = full.split(fraction=0.85, rng=seed)
+    partitions = partition_iid(train, NUM_WORKERS, rng=seed)
+    bandwidth = random_uniform_bandwidth(NUM_WORKERS, rng=seed)
+    config = ExperimentConfig(
+        rounds=80, batch_size=16, lr=0.1, eval_every=10, seed=seed
+    )
+
+    cells = run_sweep(
+        lambda compression_ratio, selector: SAPSPSGD(
+            compression_ratio=compression_ratio,
+            selector=selector,
+            base_seed=seed,
+        ),
+        grid(
+            compression_ratio=[1.0, 10.0, 100.0],
+            selector=["adaptive", "random"],
+        ),
+        partitions,
+        validation,
+        lambda: MLP(32, [32], 10, rng=seed),
+        config,
+        bandwidth=bandwidth,
+    )
+
+    print(
+        render_table(
+            sweep_headers(cells),
+            sweep_table(cells),
+            title="SAPS-PSGD sweep: compression x peer selection",
+        )
+    )
+
+    results = {
+        f"c={cell.params['compression_ratio']:g}/{cell.params['selector']}":
+            cell.result
+        for cell in cells
+    }
+    for name, result in results.items():
+        result.algorithm = name
+    summary = dominance_summary(results, cost_attr="comm_time_s")
+    rows = sorted(
+        ([name, round(share, 3)] for name, share in summary.items()),
+        key=lambda row: -row[1],
+    )
+    print(
+        "\n"
+        + render_table(
+            ["configuration", "share of time budgets led"],
+            rows,
+            title="Dominance over the accuracy-vs-communication-time frontier",
+        )
+    )
+    print(
+        "\nHigh compression + adaptive selection leads at (almost) every"
+        "\ncommunication-time budget — Figs. 4/6 condensed to one number."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+"""Theory walkthrough: Assumption 3, Lemma 2 and Theorem 2, numerically.
+
+1. Estimate ρ — the second-largest eigenvalue of E[WᵀW] — for the
+   adaptive selector, random matching and a fixed (disconnected) matching.
+2. Check Lemma 2: the measured consensus contraction of sparsified gossip
+   matches the predicted factor (q + pρ²).
+3. Evaluate Theorem 2's bound across compression ratios and horizon T.
+
+Run:  python examples/consensus_theory.py
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.core.gossip import (
+    AdaptivePeerSelector,
+    RandomPeerSelector,
+    gossip_matrix_from_matching,
+)
+from repro.network import random_uniform_bandwidth
+from repro.theory import (
+    ProblemConstants,
+    consensus_factor,
+    estimate_rho,
+    random_initial_states,
+    rounds_to_epsilon,
+    simulate_consensus,
+    theorem2_bound,
+)
+
+
+def main() -> None:
+    num_workers = 16
+    bandwidth = random_uniform_bandwidth(num_workers, rng=0)
+
+    # --- 1. rho under different selection policies -------------------
+    adaptive = AdaptivePeerSelector(bandwidth, connectivity_gap=10, rng=0)
+    random_sel = RandomPeerSelector(num_workers, rng=0)
+    fixed = gossip_matrix_from_matching(
+        [(i, i + 1) for i in range(0, num_workers, 2)], num_workers
+    )
+    rows = [
+        ["adaptive (Alg. 3)", round(estimate_rho(lambda t: adaptive.select(t).gossip, 300), 4)],
+        ["random matching", round(estimate_rho(lambda t: random_sel.select(t).gossip, 300), 4)],
+        ["one fixed matching", round(estimate_rho(lambda t: fixed, 10), 4)],
+    ]
+    print(
+        render_table(
+            ["peer selection", "rho of E[WtW]"],
+            rows,
+            title="Assumption 3: rho < 1 requires PC edges to span a connected graph",
+        )
+    )
+    print(
+        "A single fixed matching is disconnected -> rho = 1 -> no consensus;"
+        "\nAlgorithm 3's T_thres reconnection keeps rho < 1.\n"
+    )
+
+    # --- 2. Lemma 2: predicted vs measured contraction ----------------
+    rows = []
+    for ratio in [1.0, 4.0, 16.0, 64.0]:
+        selector = RandomPeerSelector(num_workers, rng=1)
+        rho = estimate_rho(lambda t: selector.select(t).gossip, 300)
+        predicted = consensus_factor(ratio, rho)
+        runner = RandomPeerSelector(num_workers, rng=2)
+        trace = simulate_consensus(
+            random_initial_states(num_workers, 200, rng=3),
+            lambda t: runner.select(t).gossip,
+            rounds=200,
+            compression_ratio=ratio,
+            seed=4,
+        )
+        rows.append(
+            [
+                int(ratio),
+                round(predicted, 4),
+                round(trace.empirical_rate(), 4),
+                rounds_to_epsilon(predicted, 1e-3),
+            ]
+        )
+    print(
+        render_table(
+            ["c", "predicted q+p*rho^2", "measured rate", "rounds to 1e-3"],
+            rows,
+            title="Lemma 2: per-round consensus contraction under sparsified gossip",
+        )
+    )
+
+    # --- 3. Theorem 2's bound -----------------------------------------
+    constants = ProblemConstants(lipschitz=1.0, sigma=1.0, f0_minus_fstar=1.0)
+    rho = 0.9
+    rows = []
+    for rounds in [10**3, 10**5, 10**7]:
+        row = [f"1e{int(np.log10(rounds))}"]
+        for ratio in [1.0, 10.0, 100.0]:
+            row.append(
+                f"{theorem2_bound(constants, ratio, rho, 32, rounds):.3e}"
+            )
+        rows.append(row)
+    print(
+        "\n"
+        + render_table(
+            ["T", "bound c=1", "bound c=10", "bound c=100"],
+            rows,
+            title="Theorem 2: avg gradient-norm bound, n=32 (same O(1/sqrt(nT)) rate; larger c only inflates the transient)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

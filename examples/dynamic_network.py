@@ -1,0 +1,114 @@
+"""Dynamic federated network: churn + drifting bandwidths + estimation.
+
+The paper motivates SAPS-PSGD with federated workers that "may join/leave
+the training randomly" over links whose speeds vary.  This example closes
+the whole loop the paper sketches in footnote 3:
+
+1. ground-truth bandwidths drift every round (geometric random walk);
+2. peers run noisy speed tests and report them to the coordinator, which
+   maintains per-link EWMA estimates;
+3. the coordinator re-seeds Algorithm 3 from fresh estimates every
+   ``REPORT_INTERVAL`` rounds;
+4. workers drop out and rejoin under a Markov churn model — offline
+   workers are simply excluded from the round's matching.
+
+Compare against a fixed-ring pairing under the same churn: the ring
+loses both members of every broken pair, while adaptive matching
+re-pairs the survivors.
+
+Run:  python examples/dynamic_network.py
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.core.gossip import AdaptivePeerSelector, FixedRingSelector
+from repro.network import random_uniform_bandwidth
+from repro.network.estimation import BandwidthEstimator, DriftingBandwidth
+from repro.network.metrics import utilized_bandwidth_per_round
+from repro.sim.dynamics import MarkovChurn
+
+NUM_WORKERS = 16
+ROUNDS = 300
+REPORT_INTERVAL = 25  # rounds between bandwidth re-surveys
+
+
+def main() -> None:
+    truth = DriftingBandwidth(
+        random_uniform_bandwidth(NUM_WORKERS, rng=0), drift=0.05, rng=0
+    )
+    estimator = BandwidthEstimator(
+        NUM_WORKERS, smoothing=0.5, measurement_noise=0.1, rng=1
+    )
+    churn = MarkovChurn(
+        NUM_WORKERS, drop_probability=0.1, return_probability=0.4,
+        min_active=4, rng=2,
+    )
+
+    estimator.survey(truth.at(0))
+    adaptive = AdaptivePeerSelector(
+        estimator.estimate(), connectivity_gap=20, rng=3
+    )
+    ring = FixedRingSelector(NUM_WORKERS)
+
+    stats = {
+        "adaptive": {"bandwidth": [], "matched": []},
+        "fixed ring": {"bandwidth": [], "matched": []},
+    }
+    estimation_errors = []
+
+    for t in range(ROUNDS):
+        current = truth.at(t)
+        active = churn.active_at(t)
+
+        if t > 0 and t % REPORT_INTERVAL == 0:
+            # Peers re-measure and report; the coordinator rebuilds its
+            # selector from fresh estimates (keeping its timestamps would
+            # be a further refinement; rebuilding is the simple policy).
+            estimator.survey(current)
+            adaptive = AdaptivePeerSelector(
+                estimator.estimate(), connectivity_gap=20, rng=3 + t
+            )
+            estimation_errors.append(estimator.relative_error(current))
+
+        for name, selector in [("adaptive", adaptive), ("fixed ring", ring)]:
+            matching = selector.select(t, active=active).matching
+            stats[name]["matched"].append(
+                2 * len(matching) / max(int(active.sum()), 1)
+            )
+            if matching:
+                stats[name]["bandwidth"].append(
+                    utilized_bandwidth_per_round(matching, current)
+                )
+
+    availability = churn.availability_fraction(ROUNDS)
+    print(
+        f"Environment: {NUM_WORKERS} workers, {ROUNDS} rounds, "
+        f"mean availability {100 * availability:.1f}%, bandwidth drift 5%/round,\n"
+        f"speed tests every {REPORT_INTERVAL} rounds "
+        f"(mean estimation error {100 * np.mean(estimation_errors):.1f}%)\n"
+    )
+    rows = [
+        [
+            name,
+            round(float(np.mean(values["bandwidth"])), 4),
+            round(100 * float(np.mean(values["matched"])), 1),
+        ]
+        for name, values in stats.items()
+    ]
+    print(
+        render_table(
+            ["peer selection", "mean bottleneck [MB/s]", "active workers matched [%]"],
+            rows,
+            title="Adaptive matching vs fixed ring under churn + drift",
+        )
+    )
+    print(
+        "\nThe fixed ring strands the partner of every offline worker and"
+        "\nignores bandwidth; Algorithm 3 re-pairs survivors over fresh"
+        "\nestimates — the robustness the paper's Table I 'R.' column claims."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Geo-distributed training over the paper's Fig. 1 bandwidth matrix.
+
+The paper's motivating scenario: 14 workers in 14 cities (4 Alibaba
+regions in China, 10 Amazon regions worldwide) with wildly heterogeneous
+link speeds.  We train the same model with three peer-selection policies
+at identical sparsification (so traffic is equal) and show how adaptive
+selection converts the same bytes into much less communication time.
+
+Run:  python examples/geo_distributed_training.py
+"""
+
+import numpy as np
+
+from repro.algorithms import SAPSPSGD
+from repro.analysis import render_table
+from repro.data import make_blobs, partition_iid
+from repro.network import FIG1_CITIES, SimulatedNetwork, fig1_environment
+from repro.nn import MLP
+from repro.sim import ExperimentConfig, run_experiment
+
+
+def main() -> None:
+    bandwidth = fig1_environment()  # 14x14, MB/s, min-symmetrized
+    num_workers = bandwidth.shape[0]
+    seed = 3
+
+    print(f"Workers ({num_workers} cities): {', '.join(FIG1_CITIES)}")
+    off_diag = bandwidth[~np.eye(num_workers, dtype=bool)]
+    print(
+        f"Link speeds: min={off_diag.min():.4f}  median={np.median(off_diag):.4f}  "
+        f"max={off_diag.max():.3f} MB/s\n"
+    )
+
+    full = make_blobs(num_samples=60 * num_workers + 300, rng=seed)
+    train, validation = full.split(fraction=0.85, rng=seed)
+    partitions = partition_iid(train, num_workers, rng=seed)
+    config = ExperimentConfig(
+        rounds=100, batch_size=16, lr=0.1, eval_every=20, seed=seed
+    )
+
+    rows = []
+    for selector in ["adaptive", "random", "ring"]:
+        algorithm = SAPSPSGD(
+            compression_ratio=50.0, selector=selector, base_seed=seed
+        )
+        network = SimulatedNetwork(num_workers, bandwidth=bandwidth)
+        result = run_experiment(
+            algorithm,
+            partitions,
+            validation,
+            model_factory=lambda: MLP(32, [32], 10, rng=seed),
+            config=config,
+            network=network,
+        )
+        rows.append(
+            [
+                selector,
+                round(100 * result.final_accuracy, 2),
+                round(result.history[-1].worker_traffic_mb, 4),
+                round(result.history[-1].comm_time_s, 2),
+                round(float(np.mean(algorithm.round_bandwidths)), 4),
+                len(algorithm.fallback_rounds),
+            ]
+        )
+
+    print(
+        render_table(
+            [
+                "peer selection",
+                "final acc [%]",
+                "traffic [MB]",
+                "comm time [s]",
+                "mean bottleneck [MB/s]",
+                "fallback rounds",
+            ],
+            rows,
+            title="SAPS-PSGD on the Fig. 1 geo-distributed environment (c=50)",
+        )
+    )
+    print(
+        "\nSame sparsification -> same traffic; adaptive peer selection"
+        " raises the bottleneck bandwidth each round, cutting wall-clock"
+        " communication time (the paper's Fig. 5 + Fig. 6 story)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""Wire-level walkthrough of Algorithms 1-2 over the message bus.
+
+Runs the SAPS-PSGD protocol exactly as Fig. 2 draws it: the coordinator
+and workers exchange *status* messages (TrainTask / RoundStart /
+RoundEnd) over a bus, while matched peers exchange sparsified-model
+payloads directly — and prints the byte ledger of both planes, making the
+"lightweight coordinator" claim concrete.
+
+Run:  python examples/protocol_walkthrough.py
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.core.messages import (
+    COORDINATOR,
+    MessageBus,
+    MessagingCoordinator,
+    ModelUpload,
+    RoundEnd,
+    RoundStart,
+)
+from repro.core.protocol import Coordinator, ModelExchangeWorker, exchange_pair
+from repro.network import random_uniform_bandwidth
+
+NUM_WORKERS = 6
+MODEL_SIZE = 100_000
+COMPRESSION = 100.0
+ROUNDS = 8
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    bus = MessageBus()
+    coordinator = MessagingCoordinator(
+        Coordinator(random_uniform_bandwidth(NUM_WORKERS, rng=0), base_seed=7, rng=0),
+        bus,
+        net_name="mnist-cnn",
+        total_rounds=ROUNDS,
+    )
+    workers = [
+        ModelExchangeWorker(rank, rng.normal(size=MODEL_SIZE), COMPRESSION)
+        for rank in range(NUM_WORKERS)
+    ]
+
+    coordinator.announce_task()
+    for rank in range(NUM_WORKERS):
+        task = bus.receive(rank)  # each worker reads its TrainTask
+        assert task.net_name == "mnist-cnn"
+    print(f"Coordinator announced task to {NUM_WORKERS} workers "
+          f"({bus.status_bytes} status bytes so far)\n")
+
+    model_plane_bytes = 0
+    for t in range(ROUNDS):
+        plan = coordinator.start_round(t)
+
+        # Workers read their RoundStart and perform the peer exchange.
+        partners = {}
+        for rank in range(NUM_WORKERS):
+            message = bus.receive(rank)
+            assert isinstance(message, RoundStart)
+            partners[rank] = (message.partner, message.mask_seed)
+
+        for a, b in plan.matching:
+            payload_a, payload_b = exchange_pair(
+                workers[a], workers[b], partners[a][1]
+            )
+            model_plane_bytes += payload_a.num_bytes() + payload_b.num_bytes()
+
+        for rank in range(NUM_WORKERS):
+            bus.send(RoundEnd(sender=rank, recipient=COORDINATOR, round_index=t))
+        coordinator.drain_round_ends()
+        assert coordinator.round_complete()
+
+    # Any worker uploads the final model (Algorithm 1, line 8).
+    bus.send(
+        ModelUpload(sender=0, recipient=COORDINATOR, model=workers[0].x)
+    )
+    coordinator.drain_round_ends()
+
+    rows = [
+        ["status plane (coordinator<->workers)", bus.status_bytes, bus.status_bytes / ROUNDS / NUM_WORKERS],
+        ["model plane (peer<->peer, sparsified)", model_plane_bytes, model_plane_bytes / ROUNDS / NUM_WORKERS],
+        ["final model upload (once)", bus.model_bytes, "-"],
+    ]
+    print(
+        render_table(
+            ["plane", "total bytes", "bytes/worker/round"],
+            rows,
+            title=(
+                f"Byte ledger: {ROUNDS} rounds, {NUM_WORKERS} workers, "
+                f"N={MODEL_SIZE:,}, c={COMPRESSION:g}"
+            ),
+        )
+    )
+    dense = MODEL_SIZE * 4
+    sparse = model_plane_bytes / ROUNDS / NUM_WORKERS
+    print(
+        f"\nA dense model is {dense:,} bytes; each worker moved ~{sparse:,.0f}"
+        f" bytes/round (≈2N/c), and the coordinator handled only status"
+        f" messages plus one final model — it is a tracker, not a parameter"
+        f" server."
+    )
+    assert coordinator.final_model is not None
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+"""Common interface of the seven compared distributed algorithms.
+
+Each algorithm binds to a list of :class:`TrainingWorker` and a
+:class:`SimulatedNetwork` (:meth:`DistributedAlgorithm.setup`) and then
+executes synchronous communication rounds (:meth:`run_round`).  Traffic
+and time fall out of the network's meters, so the harness can plot every
+algorithm on the paper's axes without algorithm-specific glue.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+import numpy as np
+
+from repro.network.transport import SimulatedNetwork
+from repro.utils.rng import SeedLike, as_generator
+
+if TYPE_CHECKING:  # avoid a runtime cycle with repro.sim
+    from repro.sim.trainer import TrainingWorker
+
+
+class DistributedAlgorithm:
+    """Base class; subclasses implement :meth:`run_round`."""
+
+    #: Human-readable algorithm name, matching the paper's legends.
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self.workers: List["TrainingWorker"] = []
+        self.network: Optional[SimulatedNetwork] = None
+        self._rng = as_generator(None)
+        #: Workers that computed in the last round (None = all).  The
+        #: engine's compute-time model reads this to bill stragglers.
+        self.last_participants: Optional[List[int]] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def setup(
+        self,
+        workers: Sequence["TrainingWorker"],
+        network: SimulatedNetwork,
+        rng: SeedLike = None,
+    ) -> None:
+        """Bind workers and network; synchronize initial models.
+
+        All algorithms start from identical parameters (the paper's
+        consensus analysis notes ``‖X_0 − X̄_0 1ᵀ‖² = 0`` when workers
+        share the initial model), taken from worker 0.
+        """
+        if len(workers) < 2:
+            raise ValueError("distributed algorithms need at least 2 workers")
+        if network.num_workers != len(workers):
+            raise ValueError(
+                f"network has {network.num_workers} endpoints for "
+                f"{len(workers)} workers"
+            )
+        self.workers = list(workers)
+        self.network = network
+        self._rng = as_generator(rng)
+        sizes = {worker.model_size for worker in self.workers}
+        if len(sizes) != 1:
+            raise ValueError(
+                f"all workers must share one architecture; got model "
+                f"sizes {sorted(sizes)}"
+            )
+        initial = self.workers[0].get_params()
+        for worker in self.workers[1:]:
+            worker.set_params(initial)
+        self._after_setup()
+
+    def _after_setup(self) -> None:
+        """Hook for per-algorithm state (buffers, replicas, coordinator)."""
+
+    # ------------------------------------------------------------------
+    # the synchronous round
+    # ------------------------------------------------------------------
+    def run_round(self, round_index: int) -> float:
+        """One communication round; returns the mean local training loss."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        return len(self.workers)
+
+    @property
+    def model_size(self) -> int:
+        return self.workers[0].model_size
+
+    def consensus_model(self) -> np.ndarray:
+        """The average model ``X̄ = X·1/n`` — what gets evaluated."""
+        stacked = np.stack([w.get_params() for w in self.workers])
+        return stacked.mean(axis=0)
+
+    def consensus_distance(self) -> float:
+        """``(1/n)Σᵢ‖xᵢ − x̄‖²`` — the quantity Theorem 1 bounds."""
+        stacked = np.stack([w.get_params() for w in self.workers])
+        mean = stacked.mean(axis=0)
+        return float(np.mean(np.sum((stacked - mean) ** 2, axis=1)))
+
+    def min_link_bandwidth(self) -> Optional[float]:
+        """Slowest pairwise link — the collective-operation bottleneck."""
+        if self.network is None or self.network.bandwidth is None:
+            return None
+        matrix = self.network.bandwidth
+        off_diag = matrix[~np.eye(matrix.shape[0], dtype=bool)]
+        return float(off_diag.min())

@@ -1,0 +1,134 @@
+"""D-PSGD and DCD-PSGD decentralized baselines (ring topology).
+
+* :class:`DPSGD` — Lian et al.: ``x_i ← Σ_j W_ij x_j − γ g_i`` with a
+  fixed ring gossip matrix; both neighbours receive the *full* model
+  every round (Table I: ``4 n_p N T``).
+* :class:`DCDPSGD` — Tang et al.: each worker keeps replicas ``x̂_j`` of
+  its neighbours' models and exchanges only a compressed model
+  *difference*; the replicas integrate the differences identically on
+  both sides.  The paper sets ``c = 4`` ("if c is larger than 4, it
+  would lose much accuracy"), which our bench inherits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.algorithms.base import DistributedAlgorithm
+from repro.compression.base import BYTES_PER_VALUE
+from repro.compression.topk import TopKCompressor
+from repro.core.gossip import ring_gossip_matrix
+
+
+class DPSGD(DistributedAlgorithm):
+    """Decentralized parallel SGD on a fixed ring."""
+
+    name = "D-PSGD"
+
+    def _after_setup(self) -> None:
+        self.gossip = ring_gossip_matrix(self.num_workers)
+
+    def _ring_neighbors(self, rank: int) -> List[int]:
+        n = self.num_workers
+        return [(rank - 1) % n, (rank + 1) % n]
+
+    def _ring_link_bandwidth(self, a: int, b: int) -> float:
+        if self.network.bandwidth is None:
+            return 0.0
+        return float(self.network.bandwidth[a, b])
+
+    def run_round(self, round_index: int) -> float:
+        losses = []
+        gradients = []
+        params = [worker.get_params() for worker in self.workers]
+        for worker in self.workers:
+            loss, gradient = worker.compute_gradient()
+            losses.append(loss)
+            gradients.append(gradient)
+
+        model_bytes = self.model_size * BYTES_PER_VALUE
+        for rank, worker in enumerate(self.workers):
+            neighbors = self._ring_neighbors(rank)
+            mixed = self.gossip[rank, rank] * params[rank]
+            for neighbor in neighbors:
+                mixed = mixed + self.gossip[rank, neighbor] * params[neighbor]
+                # The neighbour's model arriving at `rank`.
+                self.network.meter.record(
+                    round_index, neighbor, rank, model_bytes
+                )
+                if self.network.bandwidth is not None:
+                    self.network.timer.add_transfer(
+                        model_bytes, self._ring_link_bandwidth(neighbor, rank)
+                    )
+            lr = worker.optimizer.lr
+            worker.set_params(mixed - lr * gradients[rank])
+            worker.steps_taken += 1
+        self.network.finish_round()
+        return float(np.mean(losses))
+
+
+class DCDPSGD(DPSGD):
+    """Difference-compressed D-PSGD with neighbour replicas."""
+
+    name = "DCD-PSGD"
+
+    def __init__(self, compression_ratio: float = 4.0) -> None:
+        super().__init__()
+        self.compressor = TopKCompressor(compression_ratio)
+
+    def _after_setup(self) -> None:
+        super()._after_setup()
+        initial = self.workers[0].get_params()
+        # replicas[i][j]: worker i's public copy of worker j's model, for
+        # j in {i} ∪ neighbours(i).  All start at the shared init, so all
+        # copies of the same worker stay bit-identical forever (the DCD
+        # invariant — each side integrates the same compressed deltas).
+        self.replicas: List[Dict[int, np.ndarray]] = []
+        for rank in range(self.num_workers):
+            owned = {rank: initial.copy()}
+            for neighbor in self._ring_neighbors(rank):
+                owned[neighbor] = initial.copy()
+            self.replicas.append(owned)
+
+    def run_round(self, round_index: int) -> float:
+        losses = []
+        gradients = []
+        for worker in self.workers:
+            loss, gradient = worker.compute_gradient()
+            losses.append(loss)
+            gradients.append(gradient)
+
+        # Phase 1: local updates from replicas; build compressed deltas.
+        deltas = []
+        payload_bytes = []
+        for rank, worker in enumerate(self.workers):
+            mixed = self.gossip[rank, rank] * self.replicas[rank][rank]
+            for neighbor in self._ring_neighbors(rank):
+                mixed = mixed + self.gossip[rank, neighbor] * self.replicas[rank][neighbor]
+            lr = worker.optimizer.lr
+            new_params = mixed - lr * gradients[rank]
+            worker.set_params(new_params)
+            worker.steps_taken += 1
+            payload = self.compressor.compress(
+                new_params - self.replicas[rank][rank], round_index
+            )
+            deltas.append(payload.to_dense(self.model_size))
+            payload_bytes.append(payload.num_bytes())
+
+        # Phase 2: everyone integrates the same deltas into replicas.
+        for rank in range(self.num_workers):
+            self.replicas[rank][rank] += deltas[rank]
+            for neighbor in self._ring_neighbors(rank):
+                self.replicas[neighbor][rank] += deltas[rank]
+                self.network.meter.record(
+                    round_index, rank, neighbor, payload_bytes[rank]
+                )
+                if self.network.bandwidth is not None:
+                    self.network.timer.add_transfer(
+                        payload_bytes[rank],
+                        self._ring_link_bandwidth(rank, neighbor),
+                    )
+        self.network.finish_round()
+        return float(np.mean(losses))

@@ -1,0 +1,99 @@
+"""PSGD (all-reduce) and TopK-PSGD baselines.
+
+* :class:`PSGD` — synchronous parallel SGD with a bandwidth-optimal
+  all-reduce: every worker ends each round with the average gradient.
+  Worker traffic is ``2N`` values per round (Table I).
+* :class:`TopKPSGD` — each worker sparsifies its gradient to the top
+  ``N/c`` magnitudes with error feedback, then allgathers the sparse
+  gradients; worker traffic is ``≈2n·(N/c)`` values per round (Table I:
+  the allgather is what keeps TopK linear in ``n``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import DistributedAlgorithm
+from repro.compression.base import BYTES_PER_VALUE
+from repro.compression.error_feedback import ErrorFeedback
+from repro.compression.topk import TopKCompressor
+
+
+class PSGD(DistributedAlgorithm):
+    """All-reduce parallel SGD (Eq. 1): the accuracy upper bound."""
+
+    name = "PSGD"
+
+    def run_round(self, round_index: int) -> float:
+        losses = []
+        gradients = []
+        for worker in self.workers:
+            loss, gradient = worker.compute_gradient()
+            losses.append(loss)
+            gradients.append(gradient)
+        average = np.mean(gradients, axis=0)
+        for worker in self.workers:
+            worker.apply_gradient(average)
+
+        # Ring all-reduce accounting: each worker exchanges ~2N values per
+        # round regardless of n (sends N to its successor, receives N from
+        # its predecessor — Table I's 2NT worker cost).
+        n = self.num_workers
+        model_bytes = self.model_size * BYTES_PER_VALUE
+        for i in range(n):
+            self.network.meter.record(round_index, i, (i + 1) % n, model_bytes)
+        bottleneck = self.min_link_bandwidth()
+        if bottleneck is not None:
+            # The collective moves 2N per worker gated by the slowest link.
+            self.network.timer.add_transfer(2 * model_bytes, bottleneck)
+        self.network.finish_round()
+        return float(np.mean(losses))
+
+
+class TopKPSGD(DistributedAlgorithm):
+    """Top-k sparsified PSGD with error feedback and sparse allgather."""
+
+    name = "TopK-PSGD"
+
+    def __init__(self, compression_ratio: float = 1000.0) -> None:
+        super().__init__()
+        self.compressor = TopKCompressor(compression_ratio)
+        self._feedback: list = []
+
+    def _after_setup(self) -> None:
+        self._feedback = [
+            ErrorFeedback(self.compressor, self.model_size)
+            for _ in range(self.num_workers)
+        ]
+
+    def run_round(self, round_index: int) -> float:
+        losses = []
+        dense_contributions = []
+        payload_bytes = []
+        for worker, feedback in zip(self.workers, self._feedback):
+            loss, gradient = worker.compute_gradient()
+            losses.append(loss)
+            payload, dense_sent = feedback.compress(gradient, round_index)
+            dense_contributions.append(dense_sent)
+            payload_bytes.append(payload.num_bytes())
+
+        average = np.mean(dense_contributions, axis=0)
+        for worker in self.workers:
+            worker.apply_gradient(average)
+
+        # Allgather: every worker ships its sparse gradient to the other
+        # n-1 workers (and receives n-1 sparse gradients).
+        n = self.num_workers
+        for i in range(n):
+            for j in range(n):
+                if i != j:
+                    self.network.meter.record(
+                        round_index, i, j, payload_bytes[i]
+                    )
+        bottleneck = self.min_link_bandwidth()
+        if bottleneck is not None:
+            # A worker's NIC serializes its n-1 uploads.
+            worst = max(payload_bytes)
+            self.network.timer.add_transfer((n - 1) * worst, bottleneck)
+        self.network.finish_round()
+        return float(np.mean(losses))

@@ -1,0 +1,215 @@
+"""SAPS-PSGD: the paper's algorithm, end to end.
+
+Per round (Algorithms 1+2):
+
+1. the coordinator runs adaptive peer selection and broadcasts
+   ``(W_t, t, s)`` (a *small* status message — never model data);
+2. every worker takes one local SGD step on its shard;
+3. matched pairs exchange the seeded-random-masked model components
+   (``≈N/c`` values each way, no index overhead) and average them
+   (Eq. 7);
+4. workers notify "ROUND END".
+
+``selector`` picks the peer-selection policy: ``"adaptive"`` is the
+paper's Algorithm 3; ``"random"`` is the Fig. 5 "RandomChoose" baseline;
+``"ring"`` alternates the two perfect matchings of a fixed even cycle
+(single-peer communication without adaptivity).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import DistributedAlgorithm
+from repro.compression.base import SharedMaskPayload
+from repro.compression.random_mask import generate_mask
+from repro.core.gossip import FixedRingSelector, RandomPeerSelector
+from repro.core.protocol import Coordinator, RoundPlan
+from repro.network.metrics import utilized_bandwidth_per_round
+from repro.utils.rng import derive_seed
+
+
+class SAPSPSGD(DistributedAlgorithm):
+    """Sparsification + Adaptive Peer Selection PSGD."""
+
+    name = "SAPS-PSGD"
+
+    def __init__(
+        self,
+        compression_ratio: float = 100.0,
+        bandwidth_threshold: Optional[float] = None,
+        connectivity_gap: int = 20,
+        selector: str = "adaptive",
+        base_seed: int = 0,
+        prefer_weighted: bool = False,
+        churn=None,
+        loss_model=None,
+        local_steps: int = 1,
+    ) -> None:
+        super().__init__()
+        if compression_ratio < 1.0:
+            raise ValueError("compression_ratio must be >= 1")
+        if selector not in ("adaptive", "random", "ring"):
+            raise ValueError(f"unknown selector {selector!r}")
+        if local_steps < 1:
+            raise ValueError(f"local_steps must be >= 1, got {local_steps}")
+        #: SGD steps per communication round.  The paper uses 1; larger
+        #: values trade consensus quality for fewer exchanges (a
+        #: FedAvg-style extension, ablated in bench_ablations).
+        self.local_steps = int(local_steps)
+        self.compression_ratio = float(compression_ratio)
+        self.bandwidth_threshold = bandwidth_threshold
+        self.connectivity_gap = connectivity_gap
+        self.selector_kind = selector
+        self.base_seed = int(base_seed)
+        self.prefer_weighted = prefer_weighted
+        #: Optional :class:`repro.sim.dynamics.ChurnModel`: offline
+        #: workers skip the round entirely (no SGD, no matching) — the
+        #: network-dynamics robustness of Table I's "R." column.
+        self.churn = churn
+        #: Optional :class:`repro.network.faults.LossModel`: a failed
+        #: exchange leaves the pair unmixed that round (both keep their
+        #: local models) — graceful degradation, not a crash.
+        self.loss_model = loss_model
+        #: Count of exchanges dropped by the loss model.
+        self.dropped_exchanges = 0
+        self.coordinator: Optional[Coordinator] = None
+        #: Fig. 5 series: per-round utilized (bottleneck) bandwidth.
+        self.round_bandwidths: List[float] = []
+        #: Diagnostics: rounds where Algorithm 3 took the connectivity
+        #: fallback branch.
+        self.fallback_rounds: List[int] = []
+
+    def _after_setup(self) -> None:
+        n = self.num_workers
+        if self.selector_kind == "adaptive":
+            bandwidth = self.network.bandwidth
+            if bandwidth is None:
+                # No bandwidth model: all links equal, so adaptivity
+                # degenerates gracefully to random matching.
+                bandwidth = np.ones((n, n)) - np.eye(n)
+            self.coordinator = Coordinator(
+                bandwidth,
+                bandwidth_threshold=self.bandwidth_threshold,
+                connectivity_gap=self.connectivity_gap,
+                base_seed=self.base_seed,
+                rng=self._rng,
+                prefer_weighted=self.prefer_weighted,
+            )
+            self._selector = None
+        elif self.selector_kind == "random":
+            self._selector = RandomPeerSelector(n, rng=self._rng)
+        else:
+            self._selector = FixedRingSelector(n)
+        self.round_bandwidths = []
+        self.fallback_rounds = []
+
+    # ------------------------------------------------------------------
+    # the round
+    # ------------------------------------------------------------------
+    def _plan(
+        self, round_index: int, active: Optional[np.ndarray] = None
+    ) -> RoundPlan:
+        if self.coordinator is not None:
+            return self.coordinator.plan_round(round_index, active=active)
+        selection = self._selector.select(round_index, active=active)
+        from repro.core.matching import matching_to_partner_array
+
+        return RoundPlan(
+            round_index=round_index,
+            matching=selection.matching,
+            partners=matching_to_partner_array(
+                selection.matching, self.num_workers
+            ),
+            gossip=selection.gossip,
+            mask_seed=derive_seed(self.base_seed, "mask", round_index),
+            used_fallback=False,
+        )
+
+    def run_round(self, round_index: int) -> float:
+        if self.churn is not None:
+            active = np.asarray(self.churn.active_at(round_index), dtype=bool)
+            if active.shape != (self.num_workers,):
+                raise ValueError(
+                    f"churn mask has shape {active.shape}, expected "
+                    f"({self.num_workers},)"
+                )
+        else:
+            active = np.ones(self.num_workers, dtype=bool)
+
+        self.last_participants = (
+            None if active.all() else np.flatnonzero(active).tolist()
+        )
+        plan = self._plan(
+            round_index, active=None if active.all() else active
+        )
+        if plan.used_fallback:
+            self.fallback_rounds.append(round_index)
+
+        # Local SGD on every *online* worker (Algorithm 2, line 5).
+        losses = [
+            worker.local_step()
+            for worker, is_up in zip(self.workers, active)
+            if is_up
+            for _ in range(self.local_steps)
+        ]
+        if not losses:
+            self.network.finish_round()
+            return float("nan")
+
+        # Shared mask for this round (lines 6-7).
+        mask = generate_mask(
+            self.model_size, self.compression_ratio, plan.mask_seed
+        )
+        indices = np.flatnonzero(mask)
+
+        # Pairwise sparse exchange and Eq. (7) merge.
+        for a, b in plan.matching:
+            if self.loss_model is not None and self.loss_model.exchange_fails(
+                round_index, a, b
+            ):
+                # The exchange was lost: both peers keep their local
+                # models (equivalent to being unmatched this round).
+                self.dropped_exchanges += 1
+                continue
+            params_a = self.workers[a].get_params()
+            params_b = self.workers[b].get_params()
+            payload_a = SharedMaskPayload(
+                values=params_a[indices], indices=indices, mask_seed=plan.mask_seed
+            )
+            payload_b = SharedMaskPayload(
+                values=params_b[indices], indices=indices, mask_seed=plan.mask_seed
+            )
+            self.network.exchange(round_index, a, b, payload_a, payload_b)
+            averaged = 0.5 * (params_a[indices] + params_b[indices])
+            params_a[indices] = averaged
+            params_b[indices] = averaged
+            self.workers[a].set_params(params_a)
+            self.workers[b].set_params(params_b)
+
+        if self.network.bandwidth is not None:
+            self.round_bandwidths.append(
+                utilized_bandwidth_per_round(plan.matching, self.network.bandwidth)
+            )
+        if self.coordinator is not None:
+            for rank in range(self.num_workers):
+                if active[rank]:
+                    self.coordinator.notify_round_end(rank)
+            assert self.coordinator.round_complete()
+        self.network.finish_round()
+        return float(np.mean(losses))
+
+
+class RandomChoosePSGD(SAPSPSGD):
+    """Fig. 5's "RandomChoose": SAPS-PSGD with uniform random matching."""
+
+    name = "RandomChoose"
+
+    def __init__(self, compression_ratio: float = 100.0, base_seed: int = 0) -> None:
+        super().__init__(
+            compression_ratio=compression_ratio,
+            selector="random",
+            base_seed=base_seed,
+        )

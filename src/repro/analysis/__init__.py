@@ -1,0 +1,61 @@
+"""Analysis utilities: analytic cost models, target extraction, rendering."""
+
+from repro.analysis.traffic import (
+    CostModel,
+    cost_models_by_name,
+    table1_costs,
+    worker_cost_ranking,
+)
+from repro.analysis.targets import TargetCost, costs_at_target, pick_common_target
+from repro.analysis.tables import (
+    format_value,
+    render_ascii_plot,
+    render_series,
+    render_table,
+)
+from repro.analysis.io import (
+    load_comparison,
+    load_result,
+    save_comparison,
+    save_result,
+)
+from repro.analysis.breakdown import (
+    TrafficBreakdown,
+    breakdown_traffic,
+    compare_breakdowns,
+    payload_size_histogram,
+)
+from repro.analysis.report import comparison_report
+from repro.analysis.crossover import (
+    Crossover,
+    accuracy_at_cost,
+    dominance_summary,
+    find_crossovers,
+)
+
+__all__ = [
+    "CostModel",
+    "table1_costs",
+    "worker_cost_ranking",
+    "cost_models_by_name",
+    "TargetCost",
+    "costs_at_target",
+    "pick_common_target",
+    "format_value",
+    "render_table",
+    "render_series",
+    "render_ascii_plot",
+    "save_result",
+    "load_result",
+    "save_comparison",
+    "load_comparison",
+    "TrafficBreakdown",
+    "breakdown_traffic",
+    "payload_size_histogram",
+    "compare_breakdowns",
+    "comparison_report",
+    "Crossover",
+    "accuracy_at_cost",
+    "find_crossovers",
+    "dominance_summary",
+]

@@ -1,0 +1,114 @@
+"""Traffic breakdowns: where the bytes go.
+
+Table I gives totals; this module decomposes a run's measured traffic by
+direction and endpoint so the mechanisms are visible:
+
+* per-worker up vs down bytes;
+* worker↔worker vs worker↔server split;
+* payload-size histogram (values-only shared-mask payloads vs
+  index-carrying ones show up as distinct modes);
+* Gini-style imbalance across workers (centralized schemes concentrate
+  load, decentralized ones spread it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.network.metrics import MB, TrafficMeter
+
+
+@dataclass
+class TrafficBreakdown:
+    """Decomposed totals of one run (all in MB)."""
+
+    worker_up: np.ndarray  # bytes sent per worker, MB
+    worker_down: np.ndarray  # bytes received per worker, MB
+    peer_to_peer_mb: float
+    worker_to_server_mb: float
+    server_to_worker_mb: float
+    num_transfers: int
+
+    @property
+    def total_mb(self) -> float:
+        return (
+            self.peer_to_peer_mb
+            + self.worker_to_server_mb
+            + self.server_to_worker_mb
+        )
+
+    def imbalance(self) -> float:
+        """Max/mean per-worker total — 1.0 is perfectly balanced."""
+        totals = self.worker_up + self.worker_down
+        mean = totals.mean()
+        if mean == 0:
+            return 1.0
+        return float(totals.max() / mean)
+
+
+def breakdown_traffic(meter: TrafficMeter) -> TrafficBreakdown:
+    """Decompose a :class:`TrafficMeter`'s records."""
+    n = meter.num_workers
+    up = np.zeros(n)
+    down = np.zeros(n)
+    peer_to_peer = 0
+    worker_to_server = 0
+    server_to_worker = 0
+    for record in meter.records:
+        sender, receiver, num_bytes = (
+            record.sender, record.receiver, record.num_bytes
+        )
+        if sender == TrafficMeter.SERVER:
+            server_to_worker += num_bytes
+            down[receiver] += num_bytes
+        elif receiver == TrafficMeter.SERVER:
+            worker_to_server += num_bytes
+            up[sender] += num_bytes
+        else:
+            peer_to_peer += num_bytes
+            up[sender] += num_bytes
+            down[receiver] += num_bytes
+    return TrafficBreakdown(
+        worker_up=up / MB,
+        worker_down=down / MB,
+        peer_to_peer_mb=peer_to_peer / MB,
+        worker_to_server_mb=worker_to_server / MB,
+        server_to_worker_mb=server_to_worker / MB,
+        num_transfers=len(meter.records),
+    )
+
+
+def payload_size_histogram(
+    meter: TrafficMeter, num_bins: int = 8
+) -> Dict[str, List]:
+    """Histogram of per-transfer sizes (bytes), log-spaced bins."""
+    sizes = np.array([r.num_bytes for r in meter.records if r.num_bytes > 0])
+    if sizes.size == 0:
+        return {"edges": [], "counts": []}
+    low, high = sizes.min(), sizes.max()
+    if low == high:
+        return {"edges": [float(low), float(high)], "counts": [int(sizes.size)]}
+    edges = np.logspace(np.log10(low), np.log10(high), num_bins + 1)
+    counts, _ = np.histogram(sizes, bins=edges)
+    return {"edges": edges.tolist(), "counts": counts.tolist()}
+
+
+def compare_breakdowns(
+    breakdowns: Dict[str, TrafficBreakdown]
+) -> List[List]:
+    """Rows for ``render_table``: one row per algorithm."""
+    rows = []
+    for name, b in breakdowns.items():
+        rows.append(
+            [
+                name,
+                round(b.peer_to_peer_mb, 4),
+                round(b.worker_to_server_mb + b.server_to_worker_mb, 4),
+                round(float((b.worker_up + b.worker_down).mean()), 4),
+                round(b.imbalance(), 3),
+            ]
+        )
+    return rows

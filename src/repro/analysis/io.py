@@ -1,0 +1,80 @@
+"""Persist experiment results to JSON and load them back.
+
+The benchmark harness and CLI write trajectories to disk so runs can be
+compared across configurations/machines without rerunning the simulator.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.sim.engine import ExperimentConfig, ExperimentResult, RoundRecord
+
+FORMAT_VERSION = 1
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """JSON-serializable dict of one trajectory."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "algorithm": result.algorithm,
+        "config": asdict(result.config),
+        "history": [asdict(record) for record in result.history],
+    }
+
+
+def result_from_dict(payload: dict) -> ExperimentResult:
+    """Inverse of :func:`result_to_dict` (validates the format version)."""
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported result format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    result = ExperimentResult(
+        algorithm=payload["algorithm"],
+        config=ExperimentConfig(**payload["config"]),
+    )
+    result.history = [RoundRecord(**record) for record in payload["history"]]
+    return result
+
+
+def save_result(result: ExperimentResult, path: Union[str, Path]) -> Path:
+    """Write one trajectory as JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result_to_dict(result), indent=2))
+    return path
+
+
+def load_result(path: Union[str, Path]) -> ExperimentResult:
+    """Read one trajectory back."""
+    return result_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_comparison(
+    results: Dict[str, ExperimentResult], path: Union[str, Path]
+) -> Path:
+    """Write a {algorithm: trajectory} mapping as one JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "results": {name: result_to_dict(r) for name, r in results.items()},
+    }
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def load_comparison(path: Union[str, Path]) -> Dict[str, ExperimentResult]:
+    """Inverse of :func:`save_comparison`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise ValueError("unsupported comparison format version")
+    return {
+        name: result_from_dict(entry)
+        for name, entry in payload["results"].items()
+    }

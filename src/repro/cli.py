@@ -1,0 +1,354 @@
+"""Command-line experiment runner.
+
+Run a single algorithm or the full 7-algorithm comparison from the shell:
+
+    python -m repro.cli run --algorithm saps-psgd --workers 8 --rounds 60
+    python -m repro.cli compare --workers 8 --rounds 100 --non-iid
+    python -m repro.cli table1 --model-size 6653628 --workers 32
+    python -m repro.cli rho --workers 16
+
+Every subcommand prints paper-style tables; ``--output FILE`` also writes
+the trajectories as JSON (``repro.analysis.io`` format).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.algorithms import (
+    DCDPSGD,
+    DPSGD,
+    FedAvg,
+    PSGD,
+    SAPSPSGD,
+    SparseFedAvg,
+    TopKPSGD,
+)
+from repro.analysis import (
+    costs_at_target,
+    pick_common_target,
+    render_table,
+    table1_costs,
+)
+from repro.analysis.io import save_comparison, save_result
+from repro.core.gossip import AdaptivePeerSelector, RandomPeerSelector
+from repro.data import make_blobs, partition_dirichlet, partition_iid
+from repro.network import (
+    SimulatedNetwork,
+    fig1_environment,
+    random_uniform_bandwidth,
+)
+from repro.nn import MLP
+from repro.sim import (
+    ExperimentConfig,
+    SuiteSettings,
+    run_comparison,
+    run_experiment,
+)
+from repro.theory import consensus_factor, estimate_rho
+
+ALGORITHM_FACTORIES = {
+    "psgd": lambda args: PSGD(),
+    "topk-psgd": lambda args: TopKPSGD(args.compression),
+    "fedavg": lambda args: FedAvg(),
+    "s-fedavg": lambda args: SparseFedAvg(compression_ratio=args.compression),
+    "d-psgd": lambda args: DPSGD(),
+    "dcd-psgd": lambda args: DCDPSGD(min(args.compression, 4.0)),
+    "saps-psgd": lambda args: SAPSPSGD(
+        compression_ratio=args.compression, base_seed=args.seed
+    ),
+}
+
+
+def _build_workload(args):
+    """Dataset, partitions, validation split and model factory."""
+    samples = args.samples_per_worker * args.workers + args.validation_samples
+    full = make_blobs(num_samples=samples, num_classes=10, num_features=32, rng=args.seed)
+    fraction = (samples - args.validation_samples) / samples
+    train, validation = full.split(fraction=fraction, rng=args.seed)
+    if args.non_iid:
+        partitions = partition_dirichlet(
+            train, args.workers, alpha=args.dirichlet_alpha, rng=args.seed,
+            min_samples=args.batch_size,
+        )
+    else:
+        partitions = partition_iid(train, args.workers, rng=args.seed)
+    factory = lambda: MLP(32, [32], 10, rng=args.seed)
+    return partitions, validation, factory
+
+
+def _build_bandwidth(args) -> Optional[np.ndarray]:
+    if args.bandwidth == "none":
+        return None
+    if args.bandwidth == "fig1":
+        matrix = fig1_environment()
+        if args.workers != matrix.shape[0]:
+            raise SystemExit(
+                f"--bandwidth fig1 requires --workers {matrix.shape[0]}"
+            )
+        return matrix
+    return random_uniform_bandwidth(args.workers, rng=args.seed)
+
+
+def _config(args) -> ExperimentConfig:
+    return ExperimentConfig(
+        rounds=args.rounds,
+        batch_size=args.batch_size,
+        lr=args.lr,
+        eval_every=args.eval_every,
+        seed=args.seed,
+    )
+
+
+def _history_table(result) -> str:
+    rows = [
+        [
+            record.round_index,
+            round(record.train_loss, 4),
+            round(100 * record.val_accuracy, 2),
+            round(record.worker_traffic_mb, 5),
+            round(record.comm_time_s, 4),
+        ]
+        for record in result.history
+    ]
+    return render_table(
+        ["round", "train loss", "val acc [%]", "traffic [MB]", "time [s]"],
+        rows,
+        title=f"{result.algorithm} trajectory",
+    )
+
+
+def cmd_run(args) -> int:
+    if args.preset:
+        from repro.presets import instantiate_preset
+
+        partitions, validation, factory, config = instantiate_preset(
+            args.preset,
+            num_workers=args.workers,
+            fast=not args.full_model,
+            samples_per_worker=args.samples_per_worker,
+            validation_samples=args.validation_samples,
+            seed=args.seed,
+        )
+        print(f"Preset: {args.preset} (fast={not args.full_model})")
+    else:
+        partitions, validation, factory = _build_workload(args)
+        config = _config(args)
+    bandwidth = _build_bandwidth(args)
+    network = SimulatedNetwork(
+        args.workers,
+        bandwidth=bandwidth,
+        server_bandwidth=float(bandwidth.max()) if bandwidth is not None else None,
+    )
+    algorithm = ALGORITHM_FACTORIES[args.algorithm](args)
+    result = run_experiment(
+        algorithm, partitions, validation, factory, config, network
+    )
+    print(_history_table(result))
+    if args.output:
+        path = save_result(result, args.output)
+        print(f"\nSaved trajectory to {path}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    partitions, validation, factory = _build_workload(args)
+    bandwidth = _build_bandwidth(args)
+    settings = SuiteSettings(
+        saps_compression=args.compression,
+        sfedavg_compression=args.compression,
+        topk_compression=max(args.compression * 5, 10.0),
+    )
+    results = run_comparison(
+        partitions, validation, factory, _config(args),
+        bandwidth=bandwidth, settings=settings,
+    )
+    rows = [
+        [
+            name,
+            round(100 * result.final_accuracy, 2),
+            round(result.history[-1].worker_traffic_mb, 5),
+            round(result.history[-1].comm_time_s, 4),
+        ]
+        for name, result in results.items()
+    ]
+    print(
+        render_table(
+            ["Algorithm", "final acc [%]", "traffic [MB]", "time [s]"],
+            rows, title="Comparison summary",
+        )
+    )
+    target = pick_common_target(results, fraction_of_best=args.target_fraction)
+    target_rows = [
+        [
+            row.algorithm,
+            None if row.traffic_mb is None else round(row.traffic_mb, 5),
+            None if row.time_seconds is None else round(row.time_seconds, 4),
+        ]
+        for row in costs_at_target(results, target)
+    ]
+    print(
+        "\n"
+        + render_table(
+            ["Algorithm", "traffic to target [MB]", "time to target [s]"],
+            target_rows,
+            title=f"Cost to reach {100 * target:.1f}% accuracy",
+        )
+    )
+    if args.output:
+        path = save_comparison(results, args.output)
+        print(f"\nSaved all trajectories to {path}")
+    return 0
+
+
+def cmd_table1(args) -> int:
+    costs = table1_costs(
+        model_size=args.model_size,
+        num_workers=args.workers,
+        rounds=args.rounds,
+        compression_ratio=args.compression,
+    )
+    rows = [
+        [c.algorithm, c.server_cost, c.worker_cost,
+         c.supports_sparsification, c.considers_bandwidth, c.robust_to_dynamics]
+        for c in costs
+    ]
+    print(
+        render_table(
+            ["Algorithm", "Server cost", "Worker cost", "SP.", "C.B.", "R."],
+            rows, title="Table I — analytic communication cost (values)",
+        )
+    )
+    return 0
+
+
+def cmd_rho(args) -> int:
+    bandwidth = _build_bandwidth(args)
+    if bandwidth is None:
+        bandwidth = random_uniform_bandwidth(args.workers, rng=args.seed)
+    rows = []
+    adaptive = AdaptivePeerSelector(
+        bandwidth, connectivity_gap=args.connectivity_gap, rng=args.seed
+    )
+    random_sel = RandomPeerSelector(args.workers, rng=args.seed)
+    for name, selector in [("adaptive", adaptive), ("random", random_sel)]:
+        rho = estimate_rho(
+            lambda t: selector.select(t).gossip, num_samples=args.rho_samples
+        )
+        rows.append(
+            [name, round(rho, 4),
+             round(consensus_factor(args.compression, rho), 6)]
+        )
+    print(
+        render_table(
+            ["selector", "rho", f"q+p*rho^2 (c={args.compression:g})"],
+            rows, title="Assumption 3 diagnostics",
+        )
+    )
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.analysis.io import load_comparison
+    from repro.analysis.report import comparison_report
+
+    results = load_comparison(args.input)
+    report = comparison_report(
+        results,
+        title=args.title,
+        target_accuracy=args.target,
+        target_fraction=args.target_fraction,
+    )
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(report + "\n")
+        print(f"Wrote report to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SAPS-PSGD reproduction experiment runner"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--workers", type=int, default=8)
+        p.add_argument("--rounds", type=int, default=60)
+        p.add_argument("--batch-size", type=int, default=16)
+        p.add_argument("--lr", type=float, default=0.1)
+        p.add_argument("--eval-every", type=int, default=10)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--compression", type=float, default=100.0)
+        p.add_argument("--connectivity-gap", type=int, default=20)
+        p.add_argument(
+            "--bandwidth", choices=["random", "fig1", "none"], default="random"
+        )
+        p.add_argument("--non-iid", action="store_true")
+        p.add_argument("--dirichlet-alpha", type=float, default=0.5)
+        p.add_argument("--samples-per-worker", type=int, default=60)
+        p.add_argument("--validation-samples", type=int, default=200)
+        p.add_argument("--output", type=str, default=None)
+
+    run_p = sub.add_parser("run", help="run one algorithm")
+    run_p.add_argument(
+        "--algorithm", choices=sorted(ALGORITHM_FACTORIES), default="saps-psgd"
+    )
+    run_p.add_argument(
+        "--preset",
+        choices=["mnist-cnn", "cifar10-cnn", "resnet-20"],
+        default=None,
+        help="use a Table II preset workload instead of blobs",
+    )
+    run_p.add_argument(
+        "--full-model",
+        action="store_true",
+        help="with --preset: use the paper's full architecture (slow)",
+    )
+    common(run_p)
+    run_p.set_defaults(func=cmd_run)
+
+    cmp_p = sub.add_parser("compare", help="run the 7-algorithm comparison")
+    common(cmp_p)
+    cmp_p.add_argument("--target-fraction", type=float, default=0.85)
+    cmp_p.set_defaults(func=cmd_compare)
+
+    t1_p = sub.add_parser("table1", help="print the analytic Table I")
+    t1_p.add_argument("--model-size", type=float, default=6_653_628)
+    t1_p.add_argument("--workers", type=int, default=32)
+    t1_p.add_argument("--rounds", type=int, default=1000)
+    t1_p.add_argument("--compression", type=float, default=100.0)
+    t1_p.set_defaults(func=cmd_table1)
+
+    rho_p = sub.add_parser("rho", help="estimate Assumption 3's rho")
+    common(rho_p)
+    rho_p.add_argument("--rho-samples", type=int, default=200)
+    rho_p.set_defaults(func=cmd_rho)
+
+    report_p = sub.add_parser(
+        "report", help="render a markdown report from a saved comparison"
+    )
+    report_p.add_argument("input", help="comparison JSON from `compare --output`")
+    report_p.add_argument("--output", default=None, help="markdown file to write")
+    report_p.add_argument("--title", default="Algorithm comparison")
+    report_p.add_argument("--target", type=float, default=None)
+    report_p.add_argument("--target-fraction", type=float, default=0.85)
+    report_p.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

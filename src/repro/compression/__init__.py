@@ -1,0 +1,42 @@
+"""Compression substrate: sparsifiers, quantizers, error feedback, payloads."""
+
+from repro.compression.base import (
+    BYTES_PER_INDEX,
+    BYTES_PER_VALUE,
+    Compressor,
+    DensePayload,
+    IndexedPayload,
+    NoCompression,
+    Payload,
+    QuantizedPayload,
+    SharedMaskPayload,
+)
+from repro.compression.random_mask import (
+    RandomMaskCompressor,
+    generate_mask,
+    mask_density,
+)
+from repro.compression.topk import RandomKCompressor, TopKCompressor, top_k_indices
+from repro.compression.quantize import QuantizeCompressor, quantize_stochastic
+from repro.compression.error_feedback import ErrorFeedback
+
+__all__ = [
+    "BYTES_PER_VALUE",
+    "BYTES_PER_INDEX",
+    "Payload",
+    "DensePayload",
+    "SharedMaskPayload",
+    "IndexedPayload",
+    "QuantizedPayload",
+    "Compressor",
+    "NoCompression",
+    "RandomMaskCompressor",
+    "generate_mask",
+    "mask_density",
+    "TopKCompressor",
+    "RandomKCompressor",
+    "top_k_indices",
+    "QuantizeCompressor",
+    "quantize_stochastic",
+    "ErrorFeedback",
+]

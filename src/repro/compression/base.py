@@ -1,0 +1,136 @@
+"""Compressor interface and payload byte-accounting.
+
+A compressor turns a dense vector into a :class:`Payload` — the thing that
+actually crosses the (simulated) wire.  Payload subtypes know their own
+wire size, which is how the library reproduces the paper's traffic
+numbers:
+
+* :class:`DensePayload` — ``N`` values.
+* :class:`SharedMaskPayload` — the paper's scheme: the mask is derived
+  from a coordinator seed on *both* sides, so only the ``≈N/c`` surviving
+  values travel; **no index overhead** (Section II-B).
+* :class:`IndexedPayload` — Top-k-style: values *and* their indices
+  travel (used by TopK-PSGD and DCD-PSGD).
+* :class:`QuantizedPayload` — reduced bits per value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+#: Bytes per uncompressed scalar.  The paper's systems exchange fp32
+#: tensors, so traffic accounting uses 4 bytes/value even though the
+#: simulator computes in float64.
+BYTES_PER_VALUE = 4
+#: Bytes per transmitted index (uint32 covers all model sizes used here).
+BYTES_PER_INDEX = 4
+
+
+class Payload:
+    """Base class for anything sent between peers."""
+
+    def num_bytes(self) -> int:
+        raise NotImplementedError
+
+    def to_dense(self, size: int) -> np.ndarray:
+        """Materialize as a dense vector of length ``size``."""
+        raise NotImplementedError
+
+
+@dataclass
+class DensePayload(Payload):
+    """A full dense vector (PSGD, D-PSGD, FedAvg)."""
+
+    values: np.ndarray
+
+    def num_bytes(self) -> int:
+        return self.values.size * BYTES_PER_VALUE
+
+    def to_dense(self, size: int) -> np.ndarray:
+        if self.values.size != size:
+            raise ValueError(f"payload has {self.values.size} values, need {size}")
+        return np.asarray(self.values, dtype=np.float64)
+
+
+@dataclass
+class SharedMaskPayload(Payload):
+    """Masked values only — receiver regenerates the mask from the seed.
+
+    ``indices`` are carried in-object for simulation convenience but do
+    NOT count toward wire size: both end-points derive them from the
+    shared seed (Algorithm 2, lines 6-7).
+    """
+
+    values: np.ndarray
+    indices: np.ndarray
+    mask_seed: int
+
+    def num_bytes(self) -> int:
+        return self.values.size * BYTES_PER_VALUE
+
+    def to_dense(self, size: int) -> np.ndarray:
+        dense = np.zeros(size, dtype=np.float64)
+        dense[self.indices] = self.values
+        return dense
+
+
+@dataclass
+class IndexedPayload(Payload):
+    """Sparse values with explicit indices (Top-k style)."""
+
+    values: np.ndarray
+    indices: np.ndarray
+
+    def num_bytes(self) -> int:
+        return self.values.size * BYTES_PER_VALUE + self.indices.size * BYTES_PER_INDEX
+
+    def to_dense(self, size: int) -> np.ndarray:
+        dense = np.zeros(size, dtype=np.float64)
+        dense[self.indices] = self.values
+        return dense
+
+
+@dataclass
+class QuantizedPayload(Payload):
+    """Values quantized to ``bits`` bits plus a float32 scale per payload."""
+
+    values: np.ndarray  # already dequantized for simulation fidelity
+    bits: int
+    scale_bytes: int = BYTES_PER_VALUE
+
+    def num_bytes(self) -> int:
+        return int(np.ceil(self.values.size * self.bits / 8)) + self.scale_bytes
+
+    def to_dense(self, size: int) -> np.ndarray:
+        if self.values.size != size:
+            raise ValueError(f"payload has {self.values.size} values, need {size}")
+        return np.asarray(self.values, dtype=np.float64)
+
+
+class Compressor:
+    """Interface: ``compress`` a vector into a payload.
+
+    ``ratio`` is the paper's ``c``: the expected dense/compressed size
+    factor (1 = no compression).
+    """
+
+    @property
+    def ratio(self) -> float:
+        raise NotImplementedError
+
+    def compress(self, vector: np.ndarray, round_index: int = 0) -> Payload:
+        raise NotImplementedError
+
+
+class NoCompression(Compressor):
+    """Identity compressor: ship the dense vector."""
+
+    @property
+    def ratio(self) -> float:
+        return 1.0
+
+    def compress(self, vector: np.ndarray, round_index: int = 0) -> Payload:
+        return DensePayload(values=np.asarray(vector, dtype=np.float64).copy())

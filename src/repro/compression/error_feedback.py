@@ -1,0 +1,53 @@
+"""Error-feedback (residual accumulation) for biased compressors.
+
+TopK-PSGD zero-outs 99-99.9% of gradients "with error compensation"
+(the paper cites DGC [20] and EF-SignSGD [24]): components dropped this
+round are added back before the next compression, so nothing is lost —
+only delayed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.compression.base import Compressor, Payload
+
+
+class ErrorFeedback:
+    """Residual buffer wrapping a compressor.
+
+    Usage per round::
+
+        payload, dense_sent = ef.compress(gradient)
+
+    where ``dense_sent`` is the dense equivalent of what was transmitted;
+    the difference ``(gradient + residual) - dense_sent`` is retained for
+    the next round.
+    """
+
+    def __init__(self, compressor: Compressor, size: int) -> None:
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        self.compressor = compressor
+        self.residual = np.zeros(size, dtype=np.float64)
+
+    def compress(self, vector: np.ndarray, round_index: int = 0):
+        """Compensate, compress, and retain the new residual.
+
+        Returns ``(payload, dense_sent)``.
+        """
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.size != self.residual.size:
+            raise ValueError(
+                f"vector size {vector.size} != buffer size {self.residual.size}"
+            )
+        compensated = vector + self.residual
+        payload = self.compressor.compress(compensated, round_index)
+        dense_sent = payload.to_dense(vector.size)
+        self.residual = compensated - dense_sent
+        return payload, dense_sent
+
+    def reset(self) -> None:
+        self.residual[:] = 0.0

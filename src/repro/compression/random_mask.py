@@ -1,0 +1,77 @@
+"""The paper's sparsifier: seeded Bernoulli random masks (Section II-B).
+
+All workers receive the round seed ``s`` from the coordinator and generate
+the *same* mask ``m_t ∈ {0,1}^N`` with ``P[m_t[j] = 1] = p = 1/c``
+(Eq. 3).  Because the mask is shared, transmitted payloads need no index
+metadata — only the surviving values travel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import Compressor, SharedMaskPayload
+from repro.utils.validation import check_positive
+
+
+def generate_mask(size: int, compression_ratio: float, seed: int) -> np.ndarray:
+    """Generate the Bernoulli(1/c) mask for round seed ``seed``.
+
+    Deterministic: every worker calling this with the same arguments gets
+    the identical mask (the property Algorithm 2 line 6 relies on).
+
+    Returns a boolean array of shape ``(size,)``.
+    """
+    check_positive(compression_ratio, "compression_ratio")
+    if compression_ratio < 1.0:
+        raise ValueError(
+            f"compression_ratio must be >= 1, got {compression_ratio}"
+        )
+    if size < 0:
+        raise ValueError(f"size must be non-negative, got {size}")
+    probability = 1.0 / compression_ratio
+    rng = np.random.default_rng(seed)
+    return rng.random(size) < probability
+
+
+def mask_density(mask: np.ndarray) -> float:
+    """Fraction of kept (non-zero) components."""
+    mask = np.asarray(mask)
+    if mask.size == 0:
+        return 0.0
+    return float(np.count_nonzero(mask)) / mask.size
+
+
+class RandomMaskCompressor(Compressor):
+    """Compressor wrapping :func:`generate_mask` for a fixed ratio ``c``.
+
+    ``compress`` needs the round's mask seed; use :meth:`set_seed` before
+    each round (the worker receives it from the coordinator) or pass the
+    per-round seed directly to :meth:`compress_with_seed`.
+    """
+
+    def __init__(self, compression_ratio: float) -> None:
+        check_positive(compression_ratio, "compression_ratio")
+        if compression_ratio < 1.0:
+            raise ValueError("compression_ratio must be >= 1")
+        self._ratio = float(compression_ratio)
+        self._seed = 0
+
+    @property
+    def ratio(self) -> float:
+        return self._ratio
+
+    def set_seed(self, seed: int) -> None:
+        """Install the coordinator-broadcast seed for the next round."""
+        self._seed = int(seed)
+
+    def compress(self, vector: np.ndarray, round_index: int = 0) -> SharedMaskPayload:
+        return self.compress_with_seed(vector, self._seed)
+
+    def compress_with_seed(self, vector: np.ndarray, seed: int) -> SharedMaskPayload:
+        vector = np.asarray(vector, dtype=np.float64)
+        mask = generate_mask(vector.size, self._ratio, seed)
+        indices = np.flatnonzero(mask)
+        return SharedMaskPayload(
+            values=vector[indices].copy(), indices=indices, mask_seed=int(seed)
+        )

@@ -1,0 +1,75 @@
+"""Top-k and random-k sparsifiers (used by the TopK-PSGD baseline).
+
+Top-k keeps the ``k = ceil(N/c)`` largest-magnitude components and must
+ship explicit indices (unlike the paper's shared-mask scheme).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import Compressor, IndexedPayload
+from repro.utils.rng import SeedLike, as_generator
+
+
+def top_k_indices(vector: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest-|v| entries, in ascending index order.
+
+    Ties are broken deterministically by index (via argpartition on the
+    negated magnitudes then sorting), so results are reproducible.
+    """
+    vector = np.asarray(vector)
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    if k == 0:
+        return np.zeros(0, dtype=np.int64)
+    if k >= vector.size:
+        return np.arange(vector.size, dtype=np.int64)
+    partition = np.argpartition(-np.abs(vector), k - 1)[:k]
+    return np.sort(partition)
+
+
+class TopKCompressor(Compressor):
+    """Keep the ``ceil(N/c)`` largest-magnitude entries."""
+
+    def __init__(self, compression_ratio: float) -> None:
+        if compression_ratio < 1.0:
+            raise ValueError("compression_ratio must be >= 1")
+        self._ratio = float(compression_ratio)
+
+    @property
+    def ratio(self) -> float:
+        return self._ratio
+
+    def k_for(self, size: int) -> int:
+        return max(1, int(np.ceil(size / self._ratio))) if size else 0
+
+    def compress(self, vector: np.ndarray, round_index: int = 0) -> IndexedPayload:
+        vector = np.asarray(vector, dtype=np.float64)
+        indices = top_k_indices(vector, self.k_for(vector.size))
+        return IndexedPayload(values=vector[indices].copy(), indices=indices)
+
+
+class RandomKCompressor(Compressor):
+    """Keep ``ceil(N/c)`` uniformly random entries (indices shipped).
+
+    Unlike :class:`~repro.compression.random_mask.RandomMaskCompressor`
+    the selection is *not* shared between workers — this is the ablation
+    contrast for the paper's shared-seed design.
+    """
+
+    def __init__(self, compression_ratio: float, rng: SeedLike = None) -> None:
+        if compression_ratio < 1.0:
+            raise ValueError("compression_ratio must be >= 1")
+        self._ratio = float(compression_ratio)
+        self._rng = as_generator(rng)
+
+    @property
+    def ratio(self) -> float:
+        return self._ratio
+
+    def compress(self, vector: np.ndarray, round_index: int = 0) -> IndexedPayload:
+        vector = np.asarray(vector, dtype=np.float64)
+        k = max(1, int(np.ceil(vector.size / self._ratio))) if vector.size else 0
+        indices = np.sort(self._rng.choice(vector.size, size=k, replace=False))
+        return IndexedPayload(values=vector[indices].copy(), indices=indices)

@@ -1,0 +1,300 @@
+"""Gossip-matrix generation with adaptive peer selection (Algorithm 3).
+
+Per round ``t`` the coordinator produces a perfect (or maximum) matching
+over the workers and converts it to the doubly-stochastic gossip matrix
+``W_t`` (``W_ii = W_ij = 1/2`` for matched pairs — each worker averages
+with exactly one peer).
+
+Peer selection is *adaptive*:
+
+1. A timestamp matrix ``R`` records when each pair last communicated; an
+   edge is "recently connected" (RC) when ``R_ij > t − T_thres``.
+2. If the RC edges span a connected graph, match on the
+   bandwidth-filtered graph ``B* = [B ≥ B_thres]`` — preferring
+   high-bandwidth links (Algorithm 1's ``GetNewConnectedGraph``).
+3. Otherwise match on edges *between* RC-connected sub-graphs
+   (``GetOvertimeMatrix``) to restore long-run connectivity — the
+   mechanism that keeps the second-largest eigenvalue of ``E[WᵀW]``
+   below 1 (Assumption 3).
+4. Any still-unmatched workers are matched ignoring bandwidth
+   (``GetUnmatch``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.matching import (
+    Matching,
+    greedy_weighted_matching,
+    matching_to_partner_array,
+    max_cardinality_matching,
+    randomly_max_match,
+)
+from repro.network.topology import (
+    connected_components,
+    is_connected,
+    threshold_graph,
+)
+from repro.network.bandwidth import symmetrize_min
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_square
+
+
+def gossip_matrix_from_matching(matching: Matching, num_workers: int) -> np.ndarray:
+    """Algorithm 3's ``GenerateW``: matched pairs average (entries 1/2);
+    unmatched workers keep their model (diagonal 1).
+
+    The result is symmetric and doubly stochastic for any valid matching.
+    """
+    partners = matching_to_partner_array(matching, num_workers)
+    gossip = np.zeros((num_workers, num_workers))
+    for worker in range(num_workers):
+        peer = partners[worker]
+        if peer == -1:
+            gossip[worker, worker] = 1.0
+        else:
+            gossip[worker, worker] = 0.5
+            gossip[worker, peer] = 0.5
+    return gossip
+
+
+def ring_gossip_matrix(num_workers: int, self_weight: float = 1.0 / 3.0) -> np.ndarray:
+    """Uniform ring gossip matrix used by the D-PSGD/DCD-PSGD baselines:
+    each worker averages itself with its two ring neighbours."""
+    if num_workers < 3:
+        raise ValueError("ring gossip needs at least 3 workers")
+    neighbor_weight = (1.0 - self_weight) / 2.0
+    gossip = np.zeros((num_workers, num_workers))
+    for i in range(num_workers):
+        gossip[i, i] = self_weight
+        gossip[i, (i + 1) % num_workers] = neighbor_weight
+        gossip[i, (i - 1) % num_workers] = neighbor_weight
+    return gossip
+
+
+@dataclass
+class PeerSelectionResult:
+    """Outcome of one round of Algorithm 3."""
+
+    matching: Matching
+    gossip: np.ndarray
+    used_fallback: bool  # True when the RC graph was disconnected
+    second_pass_pairs: int  # pairs matched ignoring bandwidth
+
+
+class AdaptivePeerSelector:
+    """Stateful Algorithm 3: owns ``B``, ``B*``, ``R`` and ``T_thres``.
+
+    Parameters
+    ----------
+    bandwidth:
+        Raw pairwise-speed matrix; symmetrized with ``min`` as in the
+        paper.
+    bandwidth_threshold:
+        ``B_thres``; edges at or above it form the preferred graph
+        ``B*``.  Pass ``None`` to use the median link speed (a practical
+        default the paper leaves to the user).
+    connectivity_gap:
+        ``T_thres``: how many rounds an edge stays "recently connected".
+    prefer_weighted:
+        Extension switch: use bandwidth-greedy matching inside ``B*``
+        instead of uniform random maximum matching (DESIGN.md §6).
+    """
+
+    def __init__(
+        self,
+        bandwidth: np.ndarray,
+        bandwidth_threshold: Optional[float] = None,
+        connectivity_gap: int = 20,
+        rng: SeedLike = None,
+        prefer_weighted: bool = False,
+    ) -> None:
+        bandwidth = check_square(np.asarray(bandwidth, dtype=np.float64))
+        self.bandwidth = symmetrize_min(bandwidth)
+        self.num_workers = self.bandwidth.shape[0]
+        if connectivity_gap <= 0:
+            raise ValueError(
+                f"connectivity_gap must be positive, got {connectivity_gap}"
+            )
+        self.connectivity_gap = int(connectivity_gap)
+        off_diagonal = self.bandwidth[
+            ~np.eye(self.num_workers, dtype=bool)
+        ]
+        if bandwidth_threshold is None:
+            bandwidth_threshold = float(np.median(off_diagonal))
+        self.bandwidth_threshold = float(bandwidth_threshold)
+        self.filtered = threshold_graph(self.bandwidth, self.bandwidth_threshold)
+        self._rng = as_generator(rng)
+        self.prefer_weighted = prefer_weighted
+        # R: last-communication timestamps.  Initialized far in the past
+        # so round 0 starts with an empty RC graph.
+        self.timestamps = np.full(
+            (self.num_workers, self.num_workers), -10 * self.connectivity_gap - 1,
+            dtype=np.int64,
+        )
+
+    # ------------------------------------------------------------------
+    # Algorithm 3 sub-procedures
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _restrict(graph: np.ndarray, active: Optional[np.ndarray]) -> np.ndarray:
+        """Drop edges touching inactive workers (federated churn)."""
+        if active is None:
+            return graph
+        active = np.asarray(active, dtype=bool)
+        return graph & np.logical_and.outer(active, active)
+
+    def recently_connected(self, round_index: int) -> np.ndarray:
+        """``IfConnected``'s Q matrix: edges with
+        ``R_ij > t − T_thres``."""
+        rc = self.timestamps > (round_index - self.connectivity_gap)
+        rc = rc | rc.T
+        np.fill_diagonal(rc, False)
+        return rc
+
+    def overtime_matrix(self, round_index: int) -> np.ndarray:
+        """``GetOvertimeMatrix``: edges between distinct RC components."""
+        rc = self.recently_connected(round_index)
+        components = connected_components(rc)
+        labels = np.zeros(self.num_workers, dtype=np.int64)
+        for label, component in enumerate(components):
+            labels[component] = label
+        cross = labels[:, None] != labels[None, :]
+        np.fill_diagonal(cross, False)
+        return cross
+
+    @staticmethod
+    def unmatched_graph(matching: Matching, num_workers: int) -> np.ndarray:
+        """``GetUnmatch``: complete graph over workers missing from
+        ``matching``."""
+        partners = matching_to_partner_array(matching, num_workers)
+        free = partners == -1
+        graph = np.logical_and.outer(free, free)
+        np.fill_diagonal(graph, False)
+        return graph
+
+    def _match(self, graph: np.ndarray) -> Matching:
+        if self.prefer_weighted:
+            weights = np.where(graph, self.bandwidth, 0.0)
+            return greedy_weighted_matching(weights, rng=self._rng)
+        return randomly_max_match(graph, rng=self._rng)
+
+    # ------------------------------------------------------------------
+    # the per-round entry point (Algorithm 3 proper)
+    # ------------------------------------------------------------------
+    def select(
+        self, round_index: int, active: Optional[np.ndarray] = None
+    ) -> PeerSelectionResult:
+        """Run Algorithm 3 for round ``round_index``.
+
+        ``active`` (optional boolean mask) excludes offline workers from
+        the matching — the federated-churn case the paper's "R." column
+        claims robustness to.  Offline workers get ``W_ii = 1``.
+
+        Returns the matching, the gossip matrix ``W_t``, and diagnostics.
+        Updates the timestamp matrix ``R`` for matched pairs.
+        """
+        rc = self.recently_connected(round_index)
+        if active is not None:
+            active = np.asarray(active, dtype=bool)
+            # Connectivity is judged on the *active* subgraph — offline
+            # workers cannot carry information this round.
+            rc = rc[np.ix_(active, active)]
+        if is_connected(rc):
+            candidate = self.filtered
+            used_fallback = False
+        else:
+            candidate = self.overtime_matrix(round_index)
+            used_fallback = True
+        candidate = self._restrict(candidate, active)
+
+        matching = list(self._match(candidate))
+        target_pairs = (
+            self.num_workers if active is None else int(np.sum(active))
+        ) // 2
+        second_pass = 0
+        if len(matching) != target_pairs:
+            free_graph = self._restrict(
+                self.unmatched_graph(matching, self.num_workers), active
+            )
+            extra = randomly_max_match(free_graph, rng=self._rng)
+            second_pass = len(extra)
+            matching.extend(extra)
+        matching.sort()
+
+        for a, b in matching:
+            self.timestamps[a, b] = self.timestamps[b, a] = round_index
+
+        gossip = gossip_matrix_from_matching(matching, self.num_workers)
+        return PeerSelectionResult(
+            matching=matching,
+            gossip=gossip,
+            used_fallback=used_fallback,
+            second_pass_pairs=second_pass,
+        )
+
+
+class RandomPeerSelector:
+    """The paper's "RandomChoose" baseline (Fig. 5): uniform random
+    maximum matching on the complete graph every round."""
+
+    def __init__(self, num_workers: int, rng: SeedLike = None) -> None:
+        if num_workers < 2:
+            raise ValueError("need at least 2 workers")
+        self.num_workers = num_workers
+        self._rng = as_generator(rng)
+        self._complete = ~np.eye(num_workers, dtype=bool)
+
+    def select(
+        self, round_index: int, active: Optional[np.ndarray] = None
+    ) -> PeerSelectionResult:
+        graph = self._complete
+        if active is not None:
+            active = np.asarray(active, dtype=bool)
+            graph = graph & np.logical_and.outer(active, active)
+        matching = randomly_max_match(graph, rng=self._rng)
+        return PeerSelectionResult(
+            matching=matching,
+            gossip=gossip_matrix_from_matching(matching, self.num_workers),
+            used_fallback=False,
+            second_pass_pairs=0,
+        )
+
+
+class FixedRingSelector:
+    """Static pairing baseline derived from a ring order: alternates the
+    two perfect matchings of an even cycle (rounds alternate odd/even
+    edges), giving single-peer communication on a fixed topology."""
+
+    def __init__(self, num_workers: int) -> None:
+        if num_workers < 2 or num_workers % 2 != 0:
+            raise ValueError("fixed ring pairing needs an even worker count")
+        self.num_workers = num_workers
+
+    def select(
+        self, round_index: int, active: Optional[np.ndarray] = None
+    ) -> PeerSelectionResult:
+        offset = round_index % 2
+        matching = [
+            (i, (i + 1) % self.num_workers)
+            for i in range(offset, self.num_workers, 2)
+        ]
+        if active is not None:
+            active = np.asarray(active, dtype=bool)
+            # A fixed topology cannot re-pair around failures: any pair
+            # with an offline member simply loses its exchange (the
+            # brittleness the paper criticizes).
+            matching = [
+                (a, b) for a, b in matching if active[a] and active[b]
+            ]
+        matching = sorted((min(a, b), max(a, b)) for a, b in matching)
+        return PeerSelectionResult(
+            matching=matching,
+            gossip=gossip_matrix_from_matching(matching, self.num_workers),
+            used_fallback=False,
+            second_pass_pairs=0,
+        )

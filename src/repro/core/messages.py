@@ -1,0 +1,196 @@
+"""Typed coordinator↔worker messages and an in-memory message bus.
+
+The paper's Fig. 2 distinguishes "status communication (small message)"
+between the coordinator and workers from "model communication (large
+message)" between peers.  This module makes the status plane explicit:
+
+* message dataclasses for every exchange in Algorithms 1-2
+  (:class:`TrainTask`, :class:`RoundStart`, :class:`RoundEnd`,
+  :class:`ModelUpload`);
+* :class:`MessageBus` — an in-memory, per-recipient FIFO with byte
+  accounting, so the coordinator's claimed "lightweight" role is
+  *measurable*: status traffic is a few tens of bytes per worker per
+  round versus ``N/c`` values of model traffic;
+* :class:`MessagingCoordinator` — the Algorithm 1 loop driven entirely
+  through the bus (used by the protocol tests and the architecture
+  example).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.protocol import Coordinator, RoundPlan
+
+#: Address of the coordinator on the bus.
+COORDINATOR = -1
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base message: sender/recipient addresses (worker rank or
+    :data:`COORDINATOR`)."""
+
+    sender: int
+    recipient: int
+
+    def num_bytes(self) -> int:
+        """Approximate wire size (used for status-plane accounting)."""
+        return 8  # two 4-byte addresses
+
+
+@dataclass(frozen=True)
+class TrainTask(Message):
+    """Coordinator → worker, once at startup: the training task
+    (Algorithm 1, 'distributes the task to all the connected workers')."""
+
+    net_name: str = ""
+    total_rounds: int = 0
+
+    def num_bytes(self) -> int:
+        return super().num_bytes() + len(self.net_name.encode()) + 4
+
+
+@dataclass(frozen=True)
+class RoundStart(Message):
+    """Coordinator → worker, per round: ``(W_t[rank], t, s)``.
+
+    Only the worker's own partner is sent (the row of ``W_t`` it needs),
+    keeping the message O(1).
+    """
+
+    round_index: int = 0
+    partner: int = -1
+    mask_seed: int = 0
+
+    def num_bytes(self) -> int:
+        return super().num_bytes() + 4 + 4 + 8
+
+
+@dataclass(frozen=True)
+class RoundEnd(Message):
+    """Worker → coordinator: "ROUND END" (Algorithm 2, line 11)."""
+
+    round_index: int = 0
+
+    def num_bytes(self) -> int:
+        return super().num_bytes() + 4
+
+
+@dataclass(frozen=True)
+class ModelUpload(Message):
+    """Worker → coordinator, once at the very end: the full final model
+    (Algorithm 1, line 8)."""
+
+    model: Optional[np.ndarray] = None
+
+    def num_bytes(self) -> int:
+        size = 0 if self.model is None else self.model.size * 4
+        return super().num_bytes() + size
+
+
+class MessageBus:
+    """Per-recipient FIFO queues with byte accounting."""
+
+    def __init__(self) -> None:
+        self._queues: Dict[int, Deque[Message]] = defaultdict(deque)
+        self.status_bytes = 0
+        self.model_bytes = 0
+        self.delivered = 0
+
+    def send(self, message: Message) -> None:
+        self._queues[message.recipient].append(message)
+        if isinstance(message, ModelUpload):
+            self.model_bytes += message.num_bytes()
+        else:
+            self.status_bytes += message.num_bytes()
+        self.delivered += 1
+
+    def receive(self, recipient: int) -> Optional[Message]:
+        """Pop the next message for ``recipient`` (None if empty)."""
+        queue = self._queues[recipient]
+        return queue.popleft() if queue else None
+
+    def receive_all(self, recipient: int) -> List[Message]:
+        messages = list(self._queues[recipient])
+        self._queues[recipient].clear()
+        return messages
+
+    def pending(self, recipient: int) -> int:
+        return len(self._queues[recipient])
+
+
+class MessagingCoordinator:
+    """Algorithm 1 driven over a :class:`MessageBus`.
+
+    Wraps the planning :class:`~repro.core.protocol.Coordinator` and
+    turns its plans into per-worker :class:`RoundStart` messages, then
+    waits for :class:`RoundEnd` replies.
+    """
+
+    def __init__(
+        self,
+        coordinator: Coordinator,
+        bus: MessageBus,
+        net_name: str = "model",
+        total_rounds: int = 0,
+    ) -> None:
+        self.coordinator = coordinator
+        self.bus = bus
+        self.net_name = net_name
+        self.total_rounds = total_rounds
+        self.final_model: Optional[np.ndarray] = None
+
+    @property
+    def num_workers(self) -> int:
+        return self.coordinator.num_workers
+
+    def announce_task(self) -> None:
+        """Startup broadcast of the training task."""
+        for rank in range(self.num_workers):
+            self.bus.send(
+                TrainTask(
+                    sender=COORDINATOR,
+                    recipient=rank,
+                    net_name=self.net_name,
+                    total_rounds=self.total_rounds,
+                )
+            )
+
+    def start_round(
+        self, round_index: int, active: Optional[np.ndarray] = None
+    ) -> RoundPlan:
+        """Plan the round and message every participating worker."""
+        plan = self.coordinator.plan_round(round_index, active=active)
+        for rank in range(self.num_workers):
+            if active is not None and not active[rank]:
+                continue
+            self.bus.send(
+                RoundStart(
+                    sender=COORDINATOR,
+                    recipient=rank,
+                    round_index=round_index,
+                    partner=int(plan.partners[rank]),
+                    mask_seed=plan.mask_seed,
+                )
+            )
+        return plan
+
+    def drain_round_ends(self) -> int:
+        """Consume RoundEnd messages; returns how many arrived."""
+        count = 0
+        for message in self.bus.receive_all(COORDINATOR):
+            if isinstance(message, RoundEnd):
+                self.coordinator.notify_round_end(message.sender)
+                count += 1
+            elif isinstance(message, ModelUpload):
+                self.coordinator.collect_model(message.model)
+                self.final_model = self.coordinator.final_model
+        return count
+
+    def round_complete(self) -> bool:
+        return self.coordinator.round_complete()

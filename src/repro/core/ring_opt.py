@@ -1,0 +1,225 @@
+"""Bottleneck-optimal ring topologies — the NP-complete problem the paper
+sidesteps.
+
+Section II-C: "choosing the best ring-topology with diverse link
+bandwidths is to find a Hamilton Cycle which is a classical NP-Complete
+problem".  To make that argument measurable we implement the problem the
+paper declines to solve:
+
+* :func:`best_bottleneck_ring` — exact solver: binary-search the
+  bottleneck threshold over the sorted distinct link speeds, checking
+  Hamiltonicity of the thresholded graph by backtracking (fine for the
+  paper's n ≤ 32 only on lucky instances; exponential in general — the
+  point);
+* :func:`greedy_ring` / :func:`two_opt_ring` — polynomial heuristics;
+* :func:`ring_bottleneck` — the min link around a cycle.
+
+``bench_ring_opt`` compares the *optimal* ring's bottleneck against
+SAPS-PSGD's per-round matchings: even the best possible static ring is
+limited by its single worst necessary edge, while matchings re-chosen
+every round avoid slow links entirely (at the cost of needing Assumption
+3's reconnection for convergence).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_square
+
+
+def ring_bottleneck(order: Sequence[int], bandwidth: np.ndarray) -> float:
+    """Minimum link speed around the cycle ``order[0] → ... → order[0]``."""
+    order = list(order)
+    if len(order) < 3:
+        raise ValueError("a ring needs at least 3 workers")
+    if sorted(order) != list(range(len(order))):
+        raise ValueError("order must be a permutation of range(n)")
+    return float(
+        min(
+            bandwidth[order[i], order[(i + 1) % len(order)]]
+            for i in range(len(order))
+        )
+    )
+
+
+def _hamiltonian_cycle(adjacency: np.ndarray) -> Optional[List[int]]:
+    """Backtracking Hamiltonian-cycle search (exponential worst case).
+
+    Vertices are visited in order of ascending degree-sum heuristics to
+    fail fast on sparse graphs.  Returns a vertex order or None.
+    """
+    n = adjacency.shape[0]
+    if n == 0:
+        return None
+    degrees = adjacency.sum(axis=1)
+    if np.any(degrees < 2):
+        return None
+    neighbors = [np.flatnonzero(adjacency[v]).tolist() for v in range(n)]
+    path = [0]
+    visited = [False] * n
+    visited[0] = True
+
+    def backtrack() -> bool:
+        if len(path) == n:
+            return bool(adjacency[path[-1], path[0]])
+        current = path[-1]
+        # Try scarcer vertices first (degree heuristic).
+        for nxt in sorted(neighbors[current], key=lambda v: degrees[v]):
+            if not visited[nxt]:
+                visited[nxt] = True
+                path.append(nxt)
+                if backtrack():
+                    return True
+                path.pop()
+                visited[nxt] = False
+        return False
+
+    return list(path) if backtrack() else None
+
+
+def best_bottleneck_ring(
+    bandwidth: np.ndarray, max_nodes: int = 16
+) -> Tuple[List[int], float]:
+    """Exact bottleneck-optimal Hamiltonian cycle.
+
+    Binary-searches the answer over the sorted distinct link speeds: the
+    optimal bottleneck is the largest threshold ``b`` such that the graph
+    of links ``≥ b`` is Hamiltonian.  Exponential via the Hamiltonicity
+    oracle — guarded by ``max_nodes`` to keep the NP-completeness
+    honest.
+
+    Returns ``(vertex_order, bottleneck)``.
+    """
+    bandwidth = check_square(np.asarray(bandwidth, dtype=np.float64))
+    n = bandwidth.shape[0]
+    if n < 3:
+        raise ValueError("a ring needs at least 3 workers")
+    if n > max_nodes:
+        raise ValueError(
+            f"exact solver limited to {max_nodes} nodes (NP-complete); "
+            f"use two_opt_ring for n={n}"
+        )
+    speeds = np.unique(
+        bandwidth[~np.eye(n, dtype=bool) & (bandwidth > 0)]
+    )
+    if speeds.size == 0:
+        raise ValueError("bandwidth matrix has no positive links")
+
+    best_order: Optional[List[int]] = None
+    low, high = 0, speeds.size - 1
+    while low <= high:
+        mid = (low + high) // 2
+        threshold = speeds[mid]
+        adjacency = bandwidth >= threshold
+        np.fill_diagonal(adjacency, False)
+        order = _hamiltonian_cycle(adjacency)
+        if order is not None:
+            best_order = order
+            low = mid + 1
+        else:
+            high = mid - 1
+    if best_order is None:
+        raise ValueError("graph has no Hamiltonian cycle at any threshold")
+    return best_order, ring_bottleneck(best_order, bandwidth)
+
+
+def best_bottleneck_matching(
+    bandwidth: np.ndarray,
+) -> Tuple[List[Tuple[int, int]], float]:
+    """Bottleneck-optimal *perfect matching* — polynomial, unlike the ring.
+
+    Binary-searches the threshold over distinct link speeds; feasibility
+    at each threshold is a maximum-cardinality matching query (blossom,
+    polynomial).  This is the tractable problem SAPS-PSGD solves each
+    round instead of the NP-complete Hamiltonian-cycle problem, and its
+    optimum is always ≥ the optimal ring's bottleneck (a perfect matching
+    is half of some 2-factor; the ring needs twice the edges).
+
+    Returns ``(matching, bottleneck)``; requires an even worker count.
+    """
+    from repro.core.matching import max_cardinality_matching
+
+    bandwidth = check_square(np.asarray(bandwidth, dtype=np.float64))
+    n = bandwidth.shape[0]
+    if n < 2 or n % 2 != 0:
+        raise ValueError("perfect matching needs an even worker count >= 2")
+    speeds = np.unique(bandwidth[~np.eye(n, dtype=bool) & (bandwidth > 0)])
+    if speeds.size == 0:
+        raise ValueError("bandwidth matrix has no positive links")
+
+    best_matching = None
+    low, high = 0, speeds.size - 1
+    while low <= high:
+        mid = (low + high) // 2
+        adjacency = bandwidth >= speeds[mid]
+        np.fill_diagonal(adjacency, False)
+        matching = max_cardinality_matching(adjacency)
+        if len(matching) == n // 2:
+            best_matching = matching
+            low = mid + 1
+        else:
+            high = mid - 1
+    if best_matching is None:
+        raise ValueError("graph has no perfect matching at any threshold")
+    bottleneck = float(min(bandwidth[a, b] for a, b in best_matching))
+    return best_matching, bottleneck
+
+
+def greedy_ring(bandwidth: np.ndarray, start: int = 0) -> List[int]:
+    """Nearest-neighbour-style heuristic: repeatedly hop to the unvisited
+    worker with the fastest link."""
+    bandwidth = check_square(np.asarray(bandwidth, dtype=np.float64))
+    n = bandwidth.shape[0]
+    if not 0 <= start < n:
+        raise ValueError(f"start {start} out of range")
+    order = [start]
+    remaining = set(range(n)) - {start}
+    while remaining:
+        current = order[-1]
+        nxt = max(remaining, key=lambda v: bandwidth[current, v])
+        order.append(nxt)
+        remaining.remove(nxt)
+    return order
+
+
+def two_opt_ring(
+    bandwidth: np.ndarray,
+    initial: Optional[Sequence[int]] = None,
+    max_passes: int = 20,
+    rng: SeedLike = None,
+) -> List[int]:
+    """2-opt local search maximizing the ring bottleneck.
+
+    Starting from ``initial`` (default: the greedy ring), repeatedly
+    reverses segments whenever doing so raises the cycle's minimum link,
+    until a local optimum or ``max_passes``.
+    """
+    bandwidth = check_square(np.asarray(bandwidth, dtype=np.float64))
+    n = bandwidth.shape[0]
+    if n < 3:
+        raise ValueError("a ring needs at least 3 workers")
+    order = list(initial) if initial is not None else greedy_ring(bandwidth)
+    if sorted(order) != list(range(n)):
+        raise ValueError("initial must be a permutation of range(n)")
+    rng = as_generator(rng)
+
+    def bottleneck(candidate: List[int]) -> float:
+        return ring_bottleneck(candidate, bandwidth)
+
+    best = bottleneck(order)
+    for _ in range(max_passes):
+        improved = False
+        for i in range(n - 1):
+            for j in range(i + 2, n if i > 0 else n - 1):
+                candidate = order[: i + 1] + order[i + 1 : j + 1][::-1] + order[j + 1 :]
+                value = bottleneck(candidate)
+                if value > best:
+                    order, best = candidate, value
+                    improved = True
+        if not improved:
+            break
+    return order

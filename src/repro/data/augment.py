@@ -1,0 +1,121 @@
+"""Batch-level data augmentation for image-shaped data.
+
+The paper's ResNet-20/CIFAR training regime implies the standard CIFAR
+augmentation (pad-and-random-crop + horizontal flip).  These transforms
+operate on ``(batch, channels, h, w)`` arrays and compose; the
+:class:`repro.data.DataLoader` applies an optional transform to every
+training batch.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+BatchTransform = Callable[[np.ndarray], np.ndarray]
+
+
+class Compose:
+    """Apply transforms in order."""
+
+    def __init__(self, transforms: Sequence[BatchTransform]) -> None:
+        self.transforms = list(transforms)
+
+    def __call__(self, batch: np.ndarray) -> np.ndarray:
+        for transform in self.transforms:
+            batch = transform(batch)
+        return batch
+
+
+class RandomHorizontalFlip:
+    """Flip each image left-right with probability ``p``."""
+
+    def __init__(self, p: float = 0.5, rng: SeedLike = None) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {p}")
+        self.p = p
+        self._rng = as_generator(rng)
+
+    def __call__(self, batch: np.ndarray) -> np.ndarray:
+        if batch.ndim != 4:
+            raise ValueError(f"expected (b, c, h, w), got {batch.shape}")
+        flip = self._rng.random(batch.shape[0]) < self.p
+        out = batch.copy()
+        out[flip] = out[flip, :, :, ::-1]
+        return out
+
+
+class RandomCrop:
+    """Pad by ``padding`` pixels (reflect) then crop back to the original
+    size at a random offset — the standard CIFAR augmentation."""
+
+    def __init__(self, padding: int = 4, rng: SeedLike = None) -> None:
+        if padding < 0:
+            raise ValueError(f"padding must be non-negative, got {padding}")
+        self.padding = padding
+        self._rng = as_generator(rng)
+
+    def __call__(self, batch: np.ndarray) -> np.ndarray:
+        if batch.ndim != 4:
+            raise ValueError(f"expected (b, c, h, w), got {batch.shape}")
+        if self.padding == 0:
+            return batch
+        pad = self.padding
+        batch_size, _, height, width = batch.shape
+        padded = np.pad(
+            batch, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="reflect"
+        )
+        out = np.empty_like(batch)
+        offsets_y = self._rng.integers(0, 2 * pad + 1, size=batch_size)
+        offsets_x = self._rng.integers(0, 2 * pad + 1, size=batch_size)
+        for index, (oy, ox) in enumerate(zip(offsets_y, offsets_x)):
+            out[index] = padded[index, :, oy : oy + height, ox : ox + width]
+        return out
+
+
+class GaussianNoise:
+    """Add i.i.d. pixel noise — a cheap regularizer for synthetic data."""
+
+    def __init__(self, std: float = 0.05, rng: SeedLike = None) -> None:
+        if std < 0:
+            raise ValueError(f"std must be non-negative, got {std}")
+        self.std = std
+        self._rng = as_generator(rng)
+
+    def __call__(self, batch: np.ndarray) -> np.ndarray:
+        if self.std == 0:
+            return batch
+        return batch + self._rng.normal(0.0, self.std, size=batch.shape)
+
+
+class Cutout:
+    """Zero a random square patch per image (DeVries & Taylor)."""
+
+    def __init__(self, size: int = 4, rng: SeedLike = None) -> None:
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        self.size = size
+        self._rng = as_generator(rng)
+
+    def __call__(self, batch: np.ndarray) -> np.ndarray:
+        if batch.ndim != 4:
+            raise ValueError(f"expected (b, c, h, w), got {batch.shape}")
+        out = batch.copy()
+        _, _, height, width = batch.shape
+        half = self.size // 2
+        centers_y = self._rng.integers(0, height, size=batch.shape[0])
+        centers_x = self._rng.integers(0, width, size=batch.shape[0])
+        for index, (cy, cx) in enumerate(zip(centers_y, centers_x)):
+            y0, y1 = max(cy - half, 0), min(cy + half + 1, height)
+            x0, x1 = max(cx - half, 0), min(cx + half + 1, width)
+            out[index, :, y0:y1, x0:x1] = 0.0
+        return out
+
+
+def cifar_augmentation(rng: SeedLike = None) -> Compose:
+    """The standard CIFAR pipeline: pad-4 random crop + horizontal flip."""
+    generator = as_generator(rng)
+    return Compose([RandomCrop(4, rng=generator), RandomHorizontalFlip(0.5, rng=generator)])

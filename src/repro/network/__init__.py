@@ -1,0 +1,73 @@
+"""Network substrate: bandwidth data, topologies, transport, accounting."""
+
+from repro.network.bandwidth import (
+    FIG1_BANDWIDTH_MBPS,
+    FIG1_CITIES,
+    bandwidth_stats,
+    clustered_bandwidth,
+    fig1_environment,
+    mbits_to_mbytes,
+    random_uniform_bandwidth,
+    symmetrize_min,
+)
+from repro.network.topology import (
+    adjacency_from_edges,
+    complete_adjacency,
+    connected_components,
+    edges_of,
+    is_connected,
+    random_regular_adjacency,
+    ring_adjacency,
+    threshold_graph,
+)
+from repro.network.metrics import (
+    MB,
+    CommunicationTimer,
+    TrafficMeter,
+    TransferRecord,
+    utilized_bandwidth_per_round,
+)
+from repro.network.transport import SimulatedNetwork
+from repro.network.estimation import (
+    BandwidthEstimator,
+    DriftingBandwidth,
+    measure_bandwidth,
+)
+from repro.network.faults import (
+    BurstLossModel,
+    LossModel,
+    NoLoss,
+    PacketLossModel,
+)
+
+__all__ = [
+    "FIG1_BANDWIDTH_MBPS",
+    "FIG1_CITIES",
+    "fig1_environment",
+    "mbits_to_mbytes",
+    "symmetrize_min",
+    "random_uniform_bandwidth",
+    "clustered_bandwidth",
+    "bandwidth_stats",
+    "ring_adjacency",
+    "complete_adjacency",
+    "random_regular_adjacency",
+    "is_connected",
+    "connected_components",
+    "edges_of",
+    "adjacency_from_edges",
+    "threshold_graph",
+    "MB",
+    "TrafficMeter",
+    "TransferRecord",
+    "CommunicationTimer",
+    "utilized_bandwidth_per_round",
+    "SimulatedNetwork",
+    "DriftingBandwidth",
+    "measure_bandwidth",
+    "BandwidthEstimator",
+    "LossModel",
+    "NoLoss",
+    "PacketLossModel",
+    "BurstLossModel",
+]

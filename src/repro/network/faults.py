@@ -1,0 +1,148 @@
+"""Fault injection: lossy links and transient link failures.
+
+Federated WANs lose messages.  This module models per-exchange failure so
+the algorithms' behaviour under loss is testable:
+
+* :class:`PacketLossModel` — i.i.d. Bernoulli loss per exchange, with
+  optional per-link loss rates;
+* :class:`BurstLossModel` — Gilbert-Elliott-style two-state loss (good /
+  bad link states with different loss rates), the standard WAN model.
+
+SAPS-PSGD integrates loss naturally: a failed exchange simply leaves the
+pair unmixed that round (both keep their local models), which is exactly
+the unmatched-worker case of the gossip matrix — so convergence degrades
+gracefully instead of breaking (tested in ``tests/test_faults.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_probability
+
+
+class LossModel:
+    """Interface: does the exchange between ``a`` and ``b`` fail?"""
+
+    def exchange_fails(self, round_index: int, a: int, b: int) -> bool:
+        raise NotImplementedError
+
+
+class NoLoss(LossModel):
+    """Reliable links (default)."""
+
+    def exchange_fails(self, round_index: int, a: int, b: int) -> bool:
+        return False
+
+
+class PacketLossModel(LossModel):
+    """I.i.d. exchange loss.
+
+    ``loss_probability`` may be a scalar (uniform) or an ``(n, n)``
+    symmetric matrix of per-link rates.
+    """
+
+    def __init__(
+        self,
+        loss_probability,
+        num_workers: Optional[int] = None,
+        rng: SeedLike = None,
+    ) -> None:
+        if np.isscalar(loss_probability):
+            check_probability(float(loss_probability), "loss_probability")
+            self._uniform = float(loss_probability)
+            self._matrix = None
+        else:
+            matrix = np.asarray(loss_probability, dtype=np.float64)
+            if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+                raise ValueError("per-link loss matrix must be square")
+            if np.any(matrix < 0) or np.any(matrix > 1):
+                raise ValueError("loss rates must be in [0, 1]")
+            self._uniform = None
+            self._matrix = matrix
+            num_workers = matrix.shape[0]
+        self.num_workers = num_workers
+        self._rng = as_generator(rng)
+        self.failures = 0
+        self.attempts = 0
+
+    def _rate(self, a: int, b: int) -> float:
+        if self._matrix is not None:
+            return float(self._matrix[a, b])
+        return self._uniform
+
+    def exchange_fails(self, round_index: int, a: int, b: int) -> bool:
+        self.attempts += 1
+        failed = self._rng.random() < self._rate(a, b)
+        self.failures += int(failed)
+        return failed
+
+    @property
+    def observed_loss_rate(self) -> float:
+        if self.attempts == 0:
+            return 0.0
+        return self.failures / self.attempts
+
+
+class BurstLossModel(LossModel):
+    """Gilbert-Elliott bursty loss: links alternate between a good state
+    (rare loss) and a bad state (frequent loss).
+
+    State transitions are sampled lazily per link per round and cached,
+    so queries are deterministic given the seed regardless of order
+    within a round sequence (monotone round access assumed).
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        good_loss: float = 0.01,
+        bad_loss: float = 0.5,
+        p_good_to_bad: float = 0.05,
+        p_bad_to_good: float = 0.3,
+        rng: SeedLike = None,
+    ) -> None:
+        for name, value in [
+            ("good_loss", good_loss), ("bad_loss", bad_loss),
+            ("p_good_to_bad", p_good_to_bad), ("p_bad_to_good", p_bad_to_good),
+        ]:
+            check_probability(value, name)
+        self.num_workers = num_workers
+        self.good_loss = good_loss
+        self.bad_loss = bad_loss
+        self.p_good_to_bad = p_good_to_bad
+        self.p_bad_to_good = p_bad_to_good
+        self._rng = as_generator(rng)
+        # bad[a, b]: current state per link (False = good).
+        self._bad = np.zeros((num_workers, num_workers), dtype=bool)
+        self._round = 0
+        self.failures = 0
+        self.attempts = 0
+
+    def _advance_to(self, round_index: int) -> None:
+        while self._round < round_index:
+            draws = self._rng.random((self.num_workers, self.num_workers))
+            go_bad = ~self._bad & (draws < self.p_good_to_bad)
+            go_good = self._bad & (draws < self.p_bad_to_good)
+            self._bad = (self._bad | go_bad) & ~go_good
+            self._bad = np.triu(self._bad, 1)
+            self._bad = self._bad | self._bad.T
+            self._round += 1
+
+    def exchange_fails(self, round_index: int, a: int, b: int) -> bool:
+        if round_index < self._round:
+            raise ValueError("BurstLossModel requires monotone round access")
+        self._advance_to(round_index)
+        rate = self.bad_loss if self._bad[a, b] else self.good_loss
+        self.attempts += 1
+        failed = self._rng.random() < rate
+        self.failures += int(failed)
+        return failed
+
+    def bad_fraction(self) -> float:
+        """Fraction of links currently in the bad state."""
+        upper = np.triu(np.ones_like(self._bad), 1).astype(bool)
+        return float(self._bad[upper].mean())

@@ -1,0 +1,149 @@
+"""Traffic and communication-time accounting.
+
+The paper's Figs. 4-6 and Table IV plot *per-worker accumulated traffic*
+(MB) and *communication time* (s).  The simulator attributes every payload
+to its sender and receiver here, and models per-round time as the paper
+does: synchronous rounds, so a round costs ``max over concurrent
+transfers of bytes / link_bandwidth``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+MB = 1024.0 * 1024.0
+
+
+@dataclass
+class TransferRecord:
+    """One directed transfer within a round."""
+
+    round_index: int
+    sender: int
+    receiver: int
+    num_bytes: int
+
+
+class TrafficMeter:
+    """Accumulates transfers and answers the paper's accounting queries.
+
+    ``sender``/``receiver`` of ``-1`` denotes the central node (parameter
+    server or coordinator), so centralized baselines share the same meter.
+    """
+
+    SERVER = -1
+
+    def __init__(self, num_workers: int) -> None:
+        if num_workers <= 0:
+            raise ValueError(f"num_workers must be positive, got {num_workers}")
+        self.num_workers = num_workers
+        self.records: List[TransferRecord] = []
+        self._sent = np.zeros(num_workers + 1, dtype=np.float64)
+        self._received = np.zeros(num_workers + 1, dtype=np.float64)
+
+    def _slot(self, node: int) -> int:
+        if node == self.SERVER:
+            return self.num_workers
+        if not 0 <= node < self.num_workers:
+            raise ValueError(f"node {node} out of range")
+        return node
+
+    def record(
+        self, round_index: int, sender: int, receiver: int, num_bytes: int
+    ) -> None:
+        """Account one directed transfer of ``num_bytes``."""
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
+        self.records.append(
+            TransferRecord(round_index, sender, receiver, num_bytes)
+        )
+        self._sent[self._slot(sender)] += num_bytes
+        self._received[self._slot(receiver)] += num_bytes
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def worker_bytes(self, worker: int) -> float:
+        """Total bytes sent + received by one worker."""
+        slot = self._slot(worker)
+        return float(self._sent[slot] + self._received[slot])
+
+    def worker_traffic_mb(self, worker: int = 0) -> float:
+        """Per-worker accumulated traffic in MB (Fig. 4's x-axis)."""
+        return self.worker_bytes(worker) / MB
+
+    def max_worker_traffic_mb(self) -> float:
+        """Worst worker's accumulated traffic in MB."""
+        totals = self._sent[: self.num_workers] + self._received[: self.num_workers]
+        return float(totals.max()) / MB
+
+    def mean_worker_traffic_mb(self) -> float:
+        totals = self._sent[: self.num_workers] + self._received[: self.num_workers]
+        return float(totals.mean()) / MB
+
+    def server_traffic_mb(self) -> float:
+        """Central-node accumulated traffic in MB (Table I server column)."""
+        slot = self.num_workers
+        return float(self._sent[slot] + self._received[slot]) / MB
+
+    def total_traffic_mb(self) -> float:
+        """All bytes that crossed the network, in MB."""
+        return float(sum(r.num_bytes for r in self.records)) / MB
+
+
+class CommunicationTimer:
+    """Synchronous-round communication-time model.
+
+    Per round, callers report each concurrent transfer's
+    ``(bytes, bandwidth_mb_per_s)``; the round's elapsed time is the
+    maximum single-transfer duration (all transfers proceed in parallel,
+    and the round barrier waits for the slowest — exactly the model behind
+    the paper's Fig. 6).  Serial phases within a round (e.g. FedAvg's
+    download-then-upload) can be accounted by calling
+    :meth:`finish_round` per phase.
+    """
+
+    def __init__(self) -> None:
+        self.total_seconds = 0.0
+        self.round_seconds: List[float] = []
+        self._current: List[float] = []
+
+    def add_transfer(self, num_bytes: float, bandwidth_mb_per_s: float) -> float:
+        """Register one transfer in the current round; returns its duration."""
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
+        if num_bytes == 0:
+            return 0.0
+        if bandwidth_mb_per_s <= 0:
+            raise ValueError(
+                f"bandwidth must be positive, got {bandwidth_mb_per_s}"
+            )
+        duration = (num_bytes / MB) / bandwidth_mb_per_s
+        self._current.append(duration)
+        return duration
+
+    def finish_round(self) -> float:
+        """Close the round: elapsed = slowest concurrent transfer."""
+        elapsed = max(self._current) if self._current else 0.0
+        self.round_seconds.append(elapsed)
+        self.total_seconds += elapsed
+        self._current = []
+        return elapsed
+
+
+def utilized_bandwidth_per_round(
+    matching: List[Tuple[int, int]], bandwidth: np.ndarray
+) -> float:
+    """Fig. 5's metric: the effective bandwidth of a round's matching.
+
+    The round completes when the slowest matched pair finishes, so the
+    round's utilized bandwidth is the *minimum* link speed over matched
+    pairs.  Returns ``inf`` for an empty matching (no communication
+    constraint).
+    """
+    if not matching:
+        return float("inf")
+    return float(min(bandwidth[i, j] for i, j in matching))

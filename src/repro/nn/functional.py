@@ -1,0 +1,165 @@
+"""Stateless tensor ops: im2col/col2im convolution kernels, softmax, one-hot.
+
+Convolution is implemented with the standard im2col trick so the heavy
+lifting is a single matrix multiply per layer — the only way to get usable
+CNN throughput in pure numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def pair(value) -> Tuple[int, int]:
+    """Normalize an int-or-pair argument to a ``(h, w)`` tuple."""
+    if isinstance(value, (tuple, list)):
+        if len(value) != 2:
+            raise ValueError(f"expected length-2 tuple, got {value!r}")
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution/pooling window."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive conv output size for input={size}, kernel={kernel}, "
+            f"stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def im2col(
+    images: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> np.ndarray:
+    """Rearrange image patches into columns.
+
+    Parameters
+    ----------
+    images:
+        ``(batch, channels, height, width)`` array.
+
+    Returns
+    -------
+    ``(batch * out_h * out_w, channels * kh * kw)`` matrix whose rows are
+    the flattened receptive fields.
+    """
+    batch, channels, height, width = images.shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h = conv_output_size(height, kh, sh, ph)
+    out_w = conv_output_size(width, kw, sw, pw)
+
+    padded = np.pad(
+        images, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant"
+    )
+    cols = np.empty((batch, channels, kh, kw, out_h, out_w), dtype=images.dtype)
+    for y in range(kh):
+        y_end = y + sh * out_h
+        for x in range(kw):
+            x_end = x + sw * out_w
+            cols[:, :, y, x, :, :] = padded[:, :, y:y_end:sh, x:x_end:sw]
+    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(
+        batch * out_h * out_w, channels * kh * kw
+    )
+
+
+def col2im(
+    cols: np.ndarray,
+    image_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add columns back into images.
+
+    Overlapping patches accumulate, which is exactly the gradient of
+    :func:`im2col`.
+    """
+    batch, channels, height, width = image_shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h = conv_output_size(height, kh, sh, ph)
+    out_w = conv_output_size(width, kw, sw, pw)
+
+    cols = cols.reshape(batch, out_h, out_w, channels, kh, kw).transpose(
+        0, 3, 4, 5, 1, 2
+    )
+    padded = np.zeros(
+        (batch, channels, height + 2 * ph, width + 2 * pw), dtype=cols.dtype
+    )
+    for y in range(kh):
+        y_end = y + sh * out_h
+        for x in range(kw):
+            x_end = x + sw * out_w
+            padded[:, :, y:y_end:sh, x:x_end:sw] += cols[:, :, y, x, :, :]
+    if ph == 0 and pw == 0:
+        return padded
+    return padded[:, :, ph : ph + height, pw : pw + width]
+
+
+def conv2d_naive(
+    images: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray = None,
+    stride: Tuple[int, int] = (1, 1),
+    padding: Tuple[int, int] = (0, 0),
+) -> np.ndarray:
+    """Direct loop convolution — reference implementation for tests only."""
+    batch, channels, height, width = images.shape
+    out_channels, in_channels, kh, kw = weight.shape
+    if in_channels != channels:
+        raise ValueError(f"channel mismatch: {channels} vs {in_channels}")
+    sh, sw = stride
+    ph, pw = padding
+    out_h = conv_output_size(height, kh, sh, ph)
+    out_w = conv_output_size(width, kw, sw, pw)
+    padded = np.pad(images, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    output = np.zeros((batch, out_channels, out_h, out_w), dtype=images.dtype)
+    for b in range(batch):
+        for oc in range(out_channels):
+            for oy in range(out_h):
+                for ox in range(out_w):
+                    patch = padded[
+                        b, :, oy * sh : oy * sh + kh, ox * sw : ox * sw + kw
+                    ]
+                    output[b, oc, oy, ox] = np.sum(patch * weight[oc])
+            if bias is not None:
+                output[b, oc] += bias[oc]
+    return output
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Integer labels ``(batch,)`` to one-hot ``(batch, num_classes)``."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError(
+            f"labels out of range [0, {num_classes}): "
+            f"min={labels.min()}, max={labels.max()}"
+        )
+    encoded = np.zeros((labels.size, num_classes), dtype=np.float64)
+    encoded[np.arange(labels.size), labels] = 1.0
+    return encoded

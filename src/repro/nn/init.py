@@ -1,0 +1,63 @@
+"""Weight-initialization schemes (Kaiming / Xavier, fan computation)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+
+def compute_fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Return ``(fan_in, fan_out)`` for a weight tensor shape.
+
+    Linear weights are ``(out, in)``; conv weights are
+    ``(out_ch, in_ch, kh, kw)`` with receptive-field size folded in.
+    """
+    if len(shape) < 1:
+        raise ValueError("scalar parameters have no fan")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    receptive = 1
+    for dim in shape[2:]:
+        receptive *= dim
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out
+
+
+def kaiming_uniform(
+    shape: Tuple[int, ...], rng: SeedLike = None, gain: float = np.sqrt(2.0)
+) -> np.ndarray:
+    """He-style uniform init, appropriate for ReLU networks."""
+    rng = as_generator(rng)
+    fan_in, _ = compute_fans(shape)
+    bound = gain * np.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def kaiming_normal(
+    shape: Tuple[int, ...], rng: SeedLike = None, gain: float = np.sqrt(2.0)
+) -> np.ndarray:
+    """He-style normal init."""
+    rng = as_generator(rng)
+    fan_in, _ = compute_fans(shape)
+    std = gain / np.sqrt(fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: SeedLike = None) -> np.ndarray:
+    """Glorot uniform init, appropriate for tanh/sigmoid networks."""
+    rng = as_generator(rng)
+    fan_in, fan_out = compute_fans(shape)
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=np.float64)

@@ -1,0 +1,350 @@
+"""Trainable and structural layers: Linear, Conv2d, pooling, norm, dropout."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init as initializers
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import SeedLike, as_generator
+
+
+class Linear(Module):
+    """Fully-connected layer ``y = x Wᵀ + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = self.register_parameter(
+            "weight",
+            Parameter(initializers.kaiming_uniform((out_features, in_features), rng)),
+        )
+        self.bias: Optional[Parameter] = None
+        if bias:
+            self.bias = self.register_parameter(
+                "bias", Parameter(initializers.zeros((out_features,)))
+            )
+        self._input: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        if inputs.ndim != 2 or inputs.shape[1] != self.in_features:
+            raise ValueError(
+                f"Linear expected (batch, {self.in_features}), got {inputs.shape}"
+            )
+        self._input = inputs
+        output = inputs @ self.weight.data.T
+        if self.bias is not None:
+            output += self.bias.data
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward called before forward")
+        self.weight.accumulate_grad(grad_output.T @ self._input)
+        if self.bias is not None:
+            self.bias.accumulate_grad(grad_output.sum(axis=0))
+        return grad_output @ self.weight.data
+
+
+class Conv2d(Module):
+    """2-D convolution via im2col; layout ``(batch, channels, h, w)``."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size,
+        stride=1,
+        padding=0,
+        bias: bool = True,
+        rng: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = F.pair(kernel_size)
+        self.stride = F.pair(stride)
+        self.padding = F.pair(padding)
+        kh, kw = self.kernel_size
+        self.weight = self.register_parameter(
+            "weight",
+            Parameter(
+                initializers.kaiming_uniform((out_channels, in_channels, kh, kw), rng)
+            ),
+        )
+        self.bias: Optional[Parameter] = None
+        if bias:
+            self.bias = self.register_parameter(
+                "bias", Parameter(initializers.zeros((out_channels,)))
+            )
+        self._cols: Optional[np.ndarray] = None
+        self._input_shape: Optional[Tuple[int, int, int, int]] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        if inputs.ndim != 4 or inputs.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2d expected (batch, {self.in_channels}, h, w), "
+                f"got {inputs.shape}"
+            )
+        batch, _, height, width = inputs.shape
+        kh, kw = self.kernel_size
+        out_h = F.conv_output_size(height, kh, self.stride[0], self.padding[0])
+        out_w = F.conv_output_size(width, kw, self.stride[1], self.padding[1])
+
+        cols = F.im2col(inputs, self.kernel_size, self.stride, self.padding)
+        self._cols = cols
+        self._input_shape = inputs.shape
+
+        weight_matrix = self.weight.data.reshape(self.out_channels, -1)
+        output = cols @ weight_matrix.T
+        if self.bias is not None:
+            output += self.bias.data
+        return output.reshape(batch, out_h, out_w, self.out_channels).transpose(
+            0, 3, 1, 2
+        )
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        grad_matrix = grad_output.transpose(0, 2, 3, 1).reshape(
+            -1, self.out_channels
+        )
+        weight_grad = (grad_matrix.T @ self._cols).reshape(self.weight.data.shape)
+        self.weight.accumulate_grad(weight_grad)
+        if self.bias is not None:
+            self.bias.accumulate_grad(grad_matrix.sum(axis=0))
+        grad_cols = grad_matrix @ self.weight.data.reshape(self.out_channels, -1)
+        return F.col2im(
+            grad_cols, self._input_shape, self.kernel_size, self.stride, self.padding
+        )
+
+
+class MaxPool2d(Module):
+    """Max pooling with argmax routing in backward."""
+
+    def __init__(self, kernel_size, stride=None, padding=0) -> None:
+        super().__init__()
+        self.kernel_size = F.pair(kernel_size)
+        self.stride = F.pair(stride if stride is not None else kernel_size)
+        self.padding = F.pair(padding)
+        self._argmax: Optional[np.ndarray] = None
+        self._cols_shape: Optional[Tuple[int, ...]] = None
+        self._input_shape: Optional[Tuple[int, int, int, int]] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        batch, channels, height, width = inputs.shape
+        kh, kw = self.kernel_size
+        out_h = F.conv_output_size(height, kh, self.stride[0], self.padding[0])
+        out_w = F.conv_output_size(width, kw, self.stride[1], self.padding[1])
+
+        # Pool each channel independently: run im2col on a reshaped view
+        # where channels are folded into the batch dimension.
+        folded = inputs.reshape(batch * channels, 1, height, width)
+        cols = F.im2col(folded, self.kernel_size, self.stride, self.padding)
+        if self.padding != (0, 0):
+            # Padded positions must never win the max.
+            mask_src = np.ones((batch * channels, 1, height, width))
+            pad_mask = F.im2col(
+                mask_src, self.kernel_size, self.stride, self.padding
+            )
+            cols = np.where(pad_mask > 0, cols, -np.inf)
+        self._argmax = np.argmax(cols, axis=1)
+        self._cols_shape = cols.shape
+        self._input_shape = inputs.shape
+        output = cols[np.arange(cols.shape[0]), self._argmax]
+        return output.reshape(batch, channels, out_h, out_w)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._argmax is None:
+            raise RuntimeError("backward called before forward")
+        batch, channels, height, width = self._input_shape
+        grad_cols = np.zeros(self._cols_shape, dtype=grad_output.dtype)
+        grad_cols[np.arange(grad_cols.shape[0]), self._argmax] = grad_output.ravel()
+        folded_shape = (batch * channels, 1, height, width)
+        grad_folded = F.col2im(
+            grad_cols, folded_shape, self.kernel_size, self.stride, self.padding
+        )
+        return grad_folded.reshape(batch, channels, height, width)
+
+
+class AvgPool2d(Module):
+    """Average pooling (no padding support needed by our models)."""
+
+    def __init__(self, kernel_size, stride=None) -> None:
+        super().__init__()
+        self.kernel_size = F.pair(kernel_size)
+        self.stride = F.pair(stride if stride is not None else kernel_size)
+        self._input_shape: Optional[Tuple[int, int, int, int]] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        batch, channels, height, width = inputs.shape
+        kh, kw = self.kernel_size
+        out_h = F.conv_output_size(height, kh, self.stride[0], 0)
+        out_w = F.conv_output_size(width, kw, self.stride[1], 0)
+        folded = inputs.reshape(batch * channels, 1, height, width)
+        cols = F.im2col(folded, self.kernel_size, self.stride, (0, 0))
+        self._input_shape = inputs.shape
+        return cols.mean(axis=1).reshape(batch, channels, out_h, out_w)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        batch, channels, height, width = self._input_shape
+        kh, kw = self.kernel_size
+        window = kh * kw
+        grad_cols = np.repeat(
+            grad_output.reshape(-1, 1) / window, window, axis=1
+        )
+        folded_shape = (batch * channels, 1, height, width)
+        grad_folded = F.col2im(
+            grad_cols, folded_shape, self.kernel_size, self.stride, (0, 0)
+        )
+        return grad_folded.reshape(batch, channels, height, width)
+
+
+class GlobalAvgPool2d(Module):
+    """Average over the full spatial extent: ``(b, c, h, w) → (b, c)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._input_shape: Optional[Tuple[int, int, int, int]] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._input_shape = inputs.shape
+        return inputs.mean(axis=(2, 3))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        batch, channels, height, width = self._input_shape
+        scale = 1.0 / (height * width)
+        return (
+            grad_output[:, :, None, None]
+            * np.ones((batch, channels, height, width))
+            * scale
+        )
+
+
+class Flatten(Module):
+    """Flatten all non-batch dimensions."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._input_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._input_shape = inputs.shape
+        return inputs.reshape(inputs.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output.reshape(self._input_shape)
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, rate: float = 0.5, rng: SeedLike = None) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = as_generator(rng)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        if not self.training or self.rate == 0.0:
+            self._mask = None
+            return inputs
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(inputs.shape) < keep) / keep
+        return inputs * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask
+
+
+class BatchNorm2d(Module):
+    """Batch normalization over ``(batch, h, w)`` per channel.
+
+    Keeps running statistics for eval mode, like the framework the paper
+    trained with.
+    """
+
+    def __init__(
+        self, num_features: int, momentum: float = 0.1, eps: float = 1e-5
+    ) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = self.register_parameter(
+            "gamma", Parameter(initializers.ones((num_features,)))
+        )
+        self.beta = self.register_parameter(
+            "beta", Parameter(initializers.zeros((num_features,)))
+        )
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._cache = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        if inputs.ndim != 4 or inputs.shape[1] != self.num_features:
+            raise ValueError(
+                f"BatchNorm2d expected (batch, {self.num_features}, h, w), "
+                f"got {inputs.shape}"
+            )
+        if self.training:
+            mean = inputs.mean(axis=(0, 2, 3))
+            var = inputs.var(axis=(0, 2, 3))
+            count = inputs.shape[0] * inputs.shape[2] * inputs.shape[3]
+            unbiased = var * count / max(count - 1, 1)
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean
+            )
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * unbiased
+            )
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        std = np.sqrt(var + self.eps)
+        normalized = (inputs - mean[None, :, None, None]) / std[None, :, None, None]
+        self._cache = (normalized, std)
+        return (
+            self.gamma.data[None, :, None, None] * normalized
+            + self.beta.data[None, :, None, None]
+        )
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        normalized, std = self._cache
+        self.gamma.accumulate_grad((grad_output * normalized).sum(axis=(0, 2, 3)))
+        self.beta.accumulate_grad(grad_output.sum(axis=(0, 2, 3)))
+
+        if not self.training:
+            return (
+                grad_output
+                * self.gamma.data[None, :, None, None]
+                / std[None, :, None, None]
+            )
+
+        count = grad_output.shape[0] * grad_output.shape[2] * grad_output.shape[3]
+        grad_norm = grad_output * self.gamma.data[None, :, None, None]
+        mean_grad = grad_norm.mean(axis=(0, 2, 3), keepdims=True)
+        mean_grad_norm = (grad_norm * normalized).mean(
+            axis=(0, 2, 3), keepdims=True
+        )
+        return (
+            grad_norm - mean_grad - normalized * mean_grad_norm
+        ) / std[None, :, None, None]

@@ -1,0 +1,74 @@
+"""Loss functions returning ``(loss_value, grad_wrt_logits)``.
+
+Losses are mean-reduced over the batch, so gradients already include the
+``1/batch`` factor and can be fed straight into ``model.backward``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn import functional as F
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy over integer class labels."""
+
+    def __call__(
+        self, logits: np.ndarray, labels: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be (batch, classes), got {logits.shape}")
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.shape != (logits.shape[0],):
+            raise ValueError(
+                f"labels shape {labels.shape} does not match batch "
+                f"{logits.shape[0]}"
+            )
+        batch = logits.shape[0]
+        log_probs = F.log_softmax(logits, axis=1)
+        loss = -log_probs[np.arange(batch), labels].mean()
+        grad = F.softmax(logits, axis=1)
+        grad[np.arange(batch), labels] -= 1.0
+        return float(loss), grad / batch
+
+
+class MSELoss:
+    """Mean squared error over all elements."""
+
+    def __call__(
+        self, predictions: np.ndarray, targets: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        predictions = np.asarray(predictions, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if predictions.shape != targets.shape:
+            raise ValueError(
+                f"shape mismatch: {predictions.shape} vs {targets.shape}"
+            )
+        diff = predictions - targets
+        loss = float(np.mean(diff**2))
+        grad = 2.0 * diff / diff.size
+        return loss, grad
+
+
+class NLLLoss:
+    """Negative log-likelihood over log-probabilities (paired with
+    an explicit log-softmax layer when callers want separated stages)."""
+
+    def __call__(
+        self, log_probs: np.ndarray, labels: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        labels = np.asarray(labels, dtype=np.int64)
+        batch = log_probs.shape[0]
+        loss = -log_probs[np.arange(batch), labels].mean()
+        grad = np.zeros_like(log_probs)
+        grad[np.arange(batch), labels] = -1.0 / batch
+        return float(loss), grad
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy in [0, 1]."""
+    predictions = np.argmax(logits, axis=1)
+    return float(np.mean(predictions == np.asarray(labels)))

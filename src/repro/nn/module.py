@@ -1,0 +1,239 @@
+"""Module/Parameter base classes for the numpy neural-network substrate.
+
+The framework uses explicit layer-wise backpropagation: every
+:class:`Module` implements ``forward`` (caching what it needs) and
+``backward`` (consuming the cached activations and accumulating parameter
+gradients).  This is simpler and faster in numpy than a full autograd tape,
+and it is all the paper's workloads require.
+
+Distributed algorithms view a model as a flat vector ``x ∈ R^N`` via
+:meth:`Module.get_flat_params` / :meth:`Module.set_flat_params`, matching
+the paper's notation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.flat import ParamSpec, flatten_arrays, param_specs, unflatten_vector
+
+
+class Parameter:
+    """A trainable array with an accumulated gradient.
+
+    Attributes
+    ----------
+    data:
+        The parameter values (float64 ndarray).
+    grad:
+        Accumulated gradient of the same shape, or ``None`` before the
+        first backward pass.
+    name:
+        Dotted path assigned when the owning module is registered; useful
+        in error messages and tests.
+    """
+
+    def __init__(self, data: np.ndarray, name: str = "") -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Optional[np.ndarray] = None
+        self.name = name
+
+    @property
+    def shape(self):
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def zero_grad(self) -> None:
+        """Reset the gradient accumulator to zeros."""
+        self.grad = np.zeros_like(self.data)
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into the accumulator (lazily allocating it)."""
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    def __repr__(self) -> str:
+        return f"Parameter(name={self.name!r}, shape={self.data.shape})"
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Subclasses register parameters with :meth:`register_parameter` and
+    sub-modules with :meth:`register_module`, then implement
+    :meth:`forward` and :meth:`backward`.
+    """
+
+    def __init__(self) -> None:
+        self._parameters: Dict[str, Parameter] = {}
+        self._modules: Dict[str, "Module"] = {}
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # registration and traversal
+    # ------------------------------------------------------------------
+    def register_parameter(self, name: str, param: Parameter) -> Parameter:
+        if name in self._parameters:
+            raise ValueError(f"duplicate parameter name {name!r}")
+        param.name = name if not param.name else param.name
+        self._parameters[name] = param
+        return param
+
+    def register_module(self, name: str, module: "Module") -> "Module":
+        if name in self._modules:
+            raise ValueError(f"duplicate module name {name!r}")
+        self._modules[name] = module
+        return module
+
+    def parameters(self) -> List[Parameter]:
+        """All parameters of this module and its children, in stable order."""
+        params = list(self._parameters.values())
+        for child in self._modules.values():
+            params.extend(child.parameters())
+        return params
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters (the paper's ``N``)."""
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # train/eval mode and gradient management
+    # ------------------------------------------------------------------
+    def train(self) -> "Module":
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        for module in self.modules():
+            module.training = False
+        return self
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # forward / backward interface
+    # ------------------------------------------------------------------
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        return self.forward(inputs)
+
+    # ------------------------------------------------------------------
+    # flat-vector interface used by the distributed algorithms
+    # ------------------------------------------------------------------
+    def flat_specs(self) -> List[ParamSpec]:
+        return param_specs([p.data for p in self.parameters()])
+
+    def get_flat_params(self) -> np.ndarray:
+        """Model as a single vector ``x ∈ R^N`` (copy)."""
+        return flatten_arrays([p.data for p in self.parameters()])
+
+    def set_flat_params(self, vector: np.ndarray) -> None:
+        """Load the model from a flat vector produced by a peer."""
+        arrays = unflatten_vector(vector, self.flat_specs())
+        for param, array in zip(self.parameters(), arrays):
+            param.data = array
+
+    def get_flat_grads(self) -> np.ndarray:
+        """Accumulated gradients as one vector (zeros where grad unset)."""
+        grads = [
+            p.grad if p.grad is not None else np.zeros_like(p.data)
+            for p in self.parameters()
+        ]
+        return flatten_arrays(grads)
+
+    def set_flat_grads(self, vector: np.ndarray) -> None:
+        arrays = unflatten_vector(vector, self.flat_specs())
+        for param, array in zip(self.parameters(), arrays):
+            param.grad = array
+
+    # ------------------------------------------------------------------
+    # state dict (for checkpoint round-trips in tests/examples)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise ValueError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            if param.data.shape != state[name].shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{param.data.shape} vs {state[name].shape}"
+                )
+            param.data = np.asarray(state[name], dtype=np.float64).copy()
+
+
+class Sequential(Module):
+    """Chain of modules applied in order; backward runs in reverse."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self.layers: List[Module] = []
+        for index, layer in enumerate(layers):
+            self.layers.append(layer)
+            self.register_module(f"layer{index}", layer)
+
+    def append(self, layer: Module) -> "Sequential":
+        self.layers.append(layer)
+        self.register_module(f"layer{len(self.layers) - 1}", layer)
+        return self
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        out = inputs
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+
+class Identity(Module):
+    """No-op module (useful as a placeholder shortcut branch)."""
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        return inputs
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output

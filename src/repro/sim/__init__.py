@@ -1,0 +1,59 @@
+"""Simulation engine: training workers, round engine, comparison harness."""
+
+from repro.sim.trainer import TrainingWorker
+from repro.sim.engine import (
+    ExperimentConfig,
+    ExperimentResult,
+    RoundRecord,
+    evaluate_consensus,
+    make_workers,
+    run_experiment,
+)
+from repro.sim.comparison import (
+    SuiteSettings,
+    paper_algorithm_suite,
+    run_comparison,
+)
+from repro.sim.dynamics import (
+    AlwaysOn,
+    AvailabilitySchedule,
+    ChurnModel,
+    MarkovChurn,
+)
+from repro.sim.sweep import (
+    SweepCell,
+    grid,
+    run_sweep,
+    sweep_headers,
+    sweep_table,
+)
+from repro.sim.timing import (
+    ComputeModel,
+    ConstantCompute,
+    HeterogeneousCompute,
+)
+
+__all__ = [
+    "TrainingWorker",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "RoundRecord",
+    "make_workers",
+    "run_experiment",
+    "evaluate_consensus",
+    "SuiteSettings",
+    "paper_algorithm_suite",
+    "run_comparison",
+    "ChurnModel",
+    "AlwaysOn",
+    "MarkovChurn",
+    "AvailabilitySchedule",
+    "grid",
+    "run_sweep",
+    "SweepCell",
+    "sweep_table",
+    "sweep_headers",
+    "ComputeModel",
+    "ConstantCompute",
+    "HeterogeneousCompute",
+]

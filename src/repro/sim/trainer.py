@@ -1,0 +1,118 @@
+"""Local training state of one simulated worker.
+
+:class:`TrainingWorker` bundles a model replica, a data shard, a loss and
+an optimizer — Algorithm 2's ``SGD(net, D_p, L)`` — and exposes the two
+operations the distributed algorithms need: apply one local SGD step, or
+just *compute* the gradient (for algorithms that average gradients before
+stepping, like PSGD).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+from repro.data.loader import DataLoader
+from repro.nn.losses import CrossEntropyLoss, accuracy
+from repro.nn.module import Module
+from repro.nn.optim import SGD
+from repro.utils.rng import SeedLike, as_generator
+
+
+class TrainingWorker:
+    """One worker's local model, shard and optimizer.
+
+    Parameters mirror the paper's Table II settings: batch size and
+    learning rate are per-worker.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        model: Module,
+        shard: Dataset,
+        batch_size: int,
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        rng: SeedLike = None,
+    ) -> None:
+        self.rank = rank
+        self.model = model
+        self.loader = DataLoader(shard, batch_size, rng=as_generator(rng))
+        self.loss_fn = CrossEntropyLoss()
+        self.optimizer = SGD(
+            model.parameters(), lr=lr, momentum=momentum, weight_decay=weight_decay
+        )
+        self.steps_taken = 0
+        self.last_loss: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # local computation
+    # ------------------------------------------------------------------
+    def local_step(self) -> float:
+        """One mini-batch SGD step on the local shard; returns the loss."""
+        features, labels = self.loader.sample()
+        self.model.train()
+        self.model.zero_grad()
+        logits = self.model.forward(features)
+        loss, grad = self.loss_fn(logits, labels)
+        self.model.backward(grad)
+        self.optimizer.step()
+        self.steps_taken += 1
+        self.last_loss = loss
+        return loss
+
+    def compute_gradient(self) -> Tuple[float, np.ndarray]:
+        """Gradient of one sampled mini-batch at the current parameters,
+        *without* applying it.  Returns ``(loss, flat_gradient)``."""
+        features, labels = self.loader.sample()
+        self.model.train()
+        self.model.zero_grad()
+        logits = self.model.forward(features)
+        loss, grad = self.loss_fn(logits, labels)
+        self.model.backward(grad)
+        self.last_loss = loss
+        return loss, self.model.get_flat_grads()
+
+    def apply_gradient(self, flat_gradient: np.ndarray, lr: Optional[float] = None) -> None:
+        """Apply ``x ← x − lr·g`` for an externally supplied gradient."""
+        step = self.optimizer.lr if lr is None else lr
+        self.set_params(self.get_params() - step * np.asarray(flat_gradient))
+        self.steps_taken += 1
+
+    # ------------------------------------------------------------------
+    # flat-vector access
+    # ------------------------------------------------------------------
+    def get_params(self) -> np.ndarray:
+        return self.model.get_flat_params()
+
+    def set_params(self, vector: np.ndarray) -> None:
+        self.model.set_flat_params(vector)
+
+    @property
+    def model_size(self) -> int:
+        return self.model.num_parameters()
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, dataset: Dataset, batch_size: int = 256) -> Tuple[float, float]:
+        """``(mean_loss, top1_accuracy)`` of the current model on a
+        dataset, in eval mode."""
+        self.model.eval()
+        losses = []
+        correct = 0
+        total = 0
+        for start in range(0, len(dataset), batch_size):
+            features = dataset.features[start : start + batch_size]
+            labels = dataset.labels[start : start + batch_size]
+            logits = self.model.forward(features)
+            loss, _ = self.loss_fn(logits, labels)
+            losses.append(loss * len(labels))
+            correct += int(np.sum(np.argmax(logits, axis=1) == labels))
+            total += len(labels)
+        self.model.train()
+        return float(np.sum(losses) / total), correct / total

@@ -1,0 +1,90 @@
+"""Trajectory diagnostics: read theory quantities off a finished run.
+
+Given an :class:`~repro.sim.engine.ExperimentResult` these helpers
+estimate the quantities the analysis talks about — empirical consensus
+contraction, accuracy-per-MB efficiency, round-to-target — so a user can
+sanity-check a live system against Lemma 2 without rerunning anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.sim.engine import ExperimentResult
+from repro.theory.spectral import consensus_factor
+
+
+@dataclass
+class TrajectoryDiagnostics:
+    """Summary statistics of one trajectory."""
+
+    algorithm: str
+    rounds_observed: int
+    final_accuracy: float
+    final_consensus: float
+    consensus_rate_per_round: Optional[float]
+    accuracy_per_mb: Optional[float]
+
+    def consistent_with_lemma2(
+        self, compression_ratio: float, rho: float, slack: float = 0.15
+    ) -> bool:
+        """Does the measured contraction respect the (q + pρ²) bound?
+
+        Lemma 2 upper-bounds the expected contraction; a measured rate
+        much *smaller* (faster) than predicted is fine, much larger means
+        consensus is not contracting as the theory requires.
+        """
+        if self.consensus_rate_per_round is None:
+            return True
+        predicted = consensus_factor(compression_ratio, rho)
+        return self.consensus_rate_per_round <= predicted + slack
+
+
+def diagnose(result: ExperimentResult) -> TrajectoryDiagnostics:
+    """Compute diagnostics from a trajectory's evaluation snapshots."""
+    if not result.history:
+        raise ValueError("empty trajectory")
+    history = result.history
+    final = history[-1]
+
+    # Consensus contraction per round, from consecutive snapshots with
+    # positive distances (geometric mean of per-round ratios).
+    rates: List[float] = []
+    for earlier, later in zip(history[:-1], history[1:]):
+        gap = later.round_index - earlier.round_index
+        if (
+            gap > 0
+            and earlier.consensus_distance > 0
+            and later.consensus_distance > 0
+        ):
+            ratio = later.consensus_distance / earlier.consensus_distance
+            rates.append(ratio ** (1.0 / gap))
+    rate = float(np.exp(np.mean(np.log(rates)))) if rates else None
+
+    traffic = final.worker_traffic_mb
+    accuracy_per_mb = (
+        final.val_accuracy / traffic if traffic and traffic > 0 else None
+    )
+    return TrajectoryDiagnostics(
+        algorithm=result.algorithm,
+        rounds_observed=final.round_index + 1,
+        final_accuracy=final.val_accuracy,
+        final_consensus=final.consensus_distance,
+        consensus_rate_per_round=rate,
+        accuracy_per_mb=accuracy_per_mb,
+    )
+
+
+def efficiency_ranking(results) -> List[tuple]:
+    """Algorithms ranked by accuracy-per-MB (descending); entries are
+    ``(name, accuracy_per_mb)`` with None-efficiency entries last."""
+    scored = []
+    for name, result in results.items():
+        diagnostics = diagnose(result)
+        scored.append((name, diagnostics.accuracy_per_mb))
+    return sorted(
+        scored, key=lambda pair: (-(pair[1] or -np.inf), pair[0])
+    )

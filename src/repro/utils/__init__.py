@@ -1,0 +1,40 @@
+"""Shared utilities: seeded RNG helpers, flat-vector packing, validation.
+
+Everything in :mod:`repro` that needs randomness takes either an integer
+seed or a :class:`numpy.random.Generator`; :func:`as_generator` normalizes
+the two.  Flat-vector helpers are the bridge between the neural-network
+substrate (structured parameters) and the distributed algorithms (which
+operate on a single ``RN`` vector, exactly as the paper's notation does).
+"""
+
+from repro.utils.rng import as_generator, spawn_generators, derive_seed
+from repro.utils.flat import (
+    flatten_arrays,
+    unflatten_vector,
+    ParamSpec,
+    param_specs,
+)
+from repro.utils.validation import (
+    check_square,
+    check_symmetric,
+    check_probability,
+    check_positive,
+    check_non_negative,
+    check_in_range,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "derive_seed",
+    "flatten_arrays",
+    "unflatten_vector",
+    "ParamSpec",
+    "param_specs",
+    "check_square",
+    "check_symmetric",
+    "check_probability",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+]

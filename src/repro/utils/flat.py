@@ -1,0 +1,63 @@
+"""Flat-vector packing of structured parameter lists.
+
+The distributed algorithms in this library all operate on the model as a
+single vector ``x ∈ R^N`` (the paper's notation).  The neural-network
+substrate stores parameters as a list of arrays.  These helpers convert
+between the two representations without copying more than necessary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """Shape/offset bookkeeping for one array inside a flat vector."""
+
+    shape: Tuple[int, ...]
+    offset: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size
+
+
+def param_specs(arrays: Sequence[np.ndarray]) -> List[ParamSpec]:
+    """Compute the :class:`ParamSpec` layout for a list of arrays."""
+    specs: List[ParamSpec] = []
+    offset = 0
+    for array in arrays:
+        size = int(np.prod(array.shape)) if array.shape else 1
+        specs.append(ParamSpec(shape=tuple(array.shape), offset=offset, size=size))
+        offset += size
+    return specs
+
+
+def flatten_arrays(arrays: Sequence[np.ndarray], dtype=np.float64) -> np.ndarray:
+    """Concatenate arrays into one flat vector (always a fresh copy)."""
+    if not arrays:
+        return np.zeros(0, dtype=dtype)
+    return np.concatenate([np.asarray(a, dtype=dtype).ravel() for a in arrays])
+
+
+def unflatten_vector(
+    vector: np.ndarray, specs: Sequence[ParamSpec]
+) -> List[np.ndarray]:
+    """Split a flat vector back into arrays matching ``specs``.
+
+    Raises ``ValueError`` if the vector length does not match the layout.
+    """
+    vector = np.asarray(vector)
+    expected = specs[-1].end if specs else 0
+    if vector.size != expected:
+        raise ValueError(
+            f"vector has {vector.size} elements but specs describe {expected}"
+        )
+    return [
+        vector[spec.offset : spec.end].reshape(spec.shape).copy() for spec in specs
+    ]

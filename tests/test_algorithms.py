@@ -1,0 +1,360 @@
+"""Behavioural tests for all seven distributed algorithms.
+
+Each algorithm is checked for (a) convergence on a small learnable
+workload, (b) the traffic accounting Table I predicts, and (c) its
+specific invariants (synchronized replicas, consensus preservation,
+replica consistency, ...).
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    DCDPSGD,
+    DPSGD,
+    FedAvg,
+    PSGD,
+    RandomChoosePSGD,
+    SAPSPSGD,
+    SparseFedAvg,
+    TopKPSGD,
+)
+from repro.compression.base import BYTES_PER_VALUE
+from repro.data import make_blobs, partition_iid
+from repro.network import SimulatedNetwork, random_uniform_bandwidth
+from repro.network.metrics import MB
+from repro.nn import MLP
+from repro.sim import ExperimentConfig, make_workers, run_experiment
+
+
+N_WORKERS = 4
+
+
+def build_setup(seed=0, bandwidth=None, rounds=30):
+    full = make_blobs(num_samples=360, num_classes=4, num_features=8, rng=seed)
+    train, validation = full.split(fraction=280 / 360, rng=seed)
+    partitions = partition_iid(train, N_WORKERS, rng=seed)
+    config = ExperimentConfig(
+        rounds=rounds, batch_size=16, lr=0.2, eval_every=10, seed=seed
+    )
+    network = SimulatedNetwork(
+        N_WORKERS,
+        bandwidth=bandwidth,
+        server_bandwidth=float(np.max(bandwidth)) if bandwidth is not None else 5.0,
+    )
+    factory = lambda: MLP(8, [16], 4, rng=seed)
+    return partitions, validation, factory, config, network
+
+
+ALL_ALGORITHMS = [
+    PSGD,
+    lambda: TopKPSGD(compression_ratio=50.0),
+    lambda: FedAvg(participation=0.5, local_steps=3),
+    lambda: SparseFedAvg(participation=0.5, local_steps=3, compression_ratio=20.0),
+    DPSGD,
+    lambda: DCDPSGD(compression_ratio=4.0),
+    lambda: SAPSPSGD(compression_ratio=10.0),
+]
+
+
+@pytest.mark.parametrize("factory", ALL_ALGORITHMS)
+def test_algorithm_learns(factory):
+    partitions, validation, model_factory, config, network = build_setup(seed=1)
+    result = run_experiment(
+        factory(), partitions, validation, model_factory, config, network
+    )
+    assert result.final_accuracy > 0.8
+    # Training never degraded the random-init snapshot.
+    assert result.final_accuracy >= result.history[0].val_accuracy
+
+
+@pytest.mark.parametrize("factory", ALL_ALGORITHMS)
+def test_algorithm_deterministic_given_seed(factory):
+    def run():
+        partitions, validation, model_factory, config, network = build_setup(seed=2)
+        return run_experiment(
+            factory(), partitions, validation, model_factory, config, network
+        )
+
+    first, second = run(), run()
+    assert first.final_accuracy == second.final_accuracy
+    assert (
+        first.history[-1].worker_traffic_mb == second.history[-1].worker_traffic_mb
+    )
+
+
+class TestPSGD:
+    def test_workers_stay_synchronized(self):
+        partitions, validation, model_factory, config, network = build_setup()
+        algorithm = PSGD()
+        workers = make_workers(model_factory, partitions, config)
+        algorithm.setup(workers, network, rng=0)
+        for t in range(5):
+            algorithm.run_round(t)
+        assert algorithm.consensus_distance() < 1e-20
+
+    def test_traffic_is_2n_values_per_round(self):
+        partitions, validation, model_factory, config, network = build_setup()
+        algorithm = PSGD()
+        workers = make_workers(model_factory, partitions, config)
+        algorithm.setup(workers, network, rng=0)
+        rounds = 7
+        for t in range(rounds):
+            algorithm.run_round(t)
+        expected = 2 * algorithm.model_size * BYTES_PER_VALUE * rounds / MB
+        assert network.worker_traffic_mb(0) == pytest.approx(expected)
+
+
+class TestTopKPSGD:
+    def test_workers_stay_synchronized(self):
+        partitions, _, model_factory, config, network = build_setup()
+        algorithm = TopKPSGD(compression_ratio=20.0)
+        algorithm.setup(make_workers(model_factory, partitions, config), network, rng=0)
+        for t in range(5):
+            algorithm.run_round(t)
+        assert algorithm.consensus_distance() < 1e-20
+
+    def test_traffic_linear_in_n(self):
+        """Table I: TopK-PSGD worker traffic scales with n (allgather)."""
+        partitions, _, model_factory, config, network = build_setup()
+        algorithm = TopKPSGD(compression_ratio=20.0)
+        algorithm.setup(make_workers(model_factory, partitions, config), network, rng=0)
+        algorithm.run_round(0)
+        per_payload = algorithm.compressor.k_for(algorithm.model_size) * (4 + 4)
+        expected = 2 * (N_WORKERS - 1) * per_payload / MB
+        assert network.worker_traffic_mb(0) == pytest.approx(expected)
+
+    def test_error_feedback_buffers_nonzero(self):
+        partitions, _, model_factory, config, network = build_setup()
+        algorithm = TopKPSGD(compression_ratio=20.0)
+        algorithm.setup(make_workers(model_factory, partitions, config), network, rng=0)
+        algorithm.run_round(0)
+        assert any(np.any(fb.residual != 0) for fb in algorithm._feedback)
+
+
+class TestFedAvg:
+    def test_selection_count(self):
+        partitions, _, model_factory, config, network = build_setup()
+        algorithm = FedAvg(participation=0.5, local_steps=2)
+        algorithm.setup(make_workers(model_factory, partitions, config), network, rng=0)
+        assert len(algorithm._select()) == 2
+
+    def test_server_traffic_accounted(self):
+        partitions, _, model_factory, config, network = build_setup()
+        algorithm = FedAvg(participation=0.5, local_steps=2)
+        algorithm.setup(make_workers(model_factory, partitions, config), network, rng=0)
+        algorithm.run_round(0)
+        model_mb = algorithm.model_size * BYTES_PER_VALUE / MB
+        assert network.server_traffic_mb() == pytest.approx(2 * 2 * model_mb)
+
+    def test_consensus_model_is_global(self):
+        partitions, _, model_factory, config, network = build_setup()
+        algorithm = FedAvg(participation=1.0, local_steps=1)
+        algorithm.setup(make_workers(model_factory, partitions, config), network, rng=0)
+        algorithm.run_round(0)
+        np.testing.assert_array_equal(
+            algorithm.consensus_model(), algorithm.global_model
+        )
+
+    def test_invalid_participation(self):
+        with pytest.raises(ValueError):
+            FedAvg(participation=0.0)
+
+
+class TestSparseFedAvg:
+    def test_upload_cheaper_than_download(self):
+        partitions, _, model_factory, config, network = build_setup()
+        algorithm = SparseFedAvg(
+            participation=1.0, local_steps=1, compression_ratio=20.0
+        )
+        algorithm.setup(make_workers(model_factory, partitions, config), network, rng=0)
+        algorithm.run_round(0)
+        model_bytes = algorithm.model_size * BYTES_PER_VALUE
+        kept = int(np.ceil(algorithm.model_size / 20.0))
+        expected = N_WORKERS * (model_bytes + kept * 8) / MB
+        assert network.server_traffic_mb() == pytest.approx(expected)
+
+    def test_less_traffic_than_fedavg(self):
+        results = {}
+        for name, factory in {
+            "dense": lambda: FedAvg(participation=1.0, local_steps=2),
+            "sparse": lambda: SparseFedAvg(
+                participation=1.0, local_steps=2, compression_ratio=50.0
+            ),
+        }.items():
+            partitions, validation, model_factory, config, network = build_setup()
+            results[name] = run_experiment(
+                factory(), partitions, validation, model_factory, config, network
+            )
+        assert (
+            results["sparse"].history[-1].worker_traffic_mb
+            < results["dense"].history[-1].worker_traffic_mb
+        )
+
+
+class TestDPSGD:
+    def test_consensus_mean_preserved_by_mixing(self):
+        """Doubly stochastic ring mixing keeps the average model equal to
+        plain SGD-on-average up to gradient terms; here: with zero
+        gradients the mean is exactly preserved."""
+        partitions, _, model_factory, config, network = build_setup()
+        algorithm = DPSGD()
+        workers = make_workers(model_factory, partitions, config)
+        algorithm.setup(workers, network, rng=0)
+        # Zero the learning rate so only mixing happens.
+        for worker in workers:
+            worker.optimizer.lr = 0.0
+        before = algorithm.consensus_model()
+        algorithm.run_round(0)
+        np.testing.assert_allclose(algorithm.consensus_model(), before, atol=1e-12)
+
+    def test_mixing_contracts_disagreement(self):
+        partitions, _, model_factory, config, network = build_setup()
+        algorithm = DPSGD()
+        workers = make_workers(model_factory, partitions, config)
+        algorithm.setup(workers, network, rng=0)
+        rng = np.random.default_rng(0)
+        for worker in workers:
+            worker.set_params(rng.normal(size=algorithm.model_size))
+            worker.optimizer.lr = 0.0
+        before = algorithm.consensus_distance()
+        for t in range(10):
+            algorithm.run_round(t)
+        assert algorithm.consensus_distance() < 0.2 * before
+
+    def test_full_model_traffic(self):
+        partitions, _, model_factory, config, network = build_setup()
+        algorithm = DPSGD()
+        algorithm.setup(make_workers(model_factory, partitions, config), network, rng=0)
+        algorithm.run_round(0)
+        model_mb = algorithm.model_size * BYTES_PER_VALUE / MB
+        # Each worker receives 2 full models and sends 2 (to its 2 ring
+        # neighbours): 4N per round.
+        assert network.worker_traffic_mb(0) == pytest.approx(4 * model_mb)
+
+
+class TestDCDPSGD:
+    def test_replica_consistency_invariant(self):
+        """Every copy of worker j's public replica must stay identical
+        across holders — both sides integrate the same compressed deltas."""
+        partitions, _, model_factory, config, network = build_setup()
+        algorithm = DCDPSGD(compression_ratio=4.0)
+        algorithm.setup(make_workers(model_factory, partitions, config), network, rng=0)
+        for t in range(5):
+            algorithm.run_round(t)
+        for rank in range(N_WORKERS):
+            mine = algorithm.replicas[rank][rank]
+            for holder in algorithm._ring_neighbors(rank):
+                np.testing.assert_array_equal(
+                    algorithm.replicas[holder][rank], mine
+                )
+
+    def test_traffic_below_dpsgd(self):
+        traffic = {}
+        for name, factory in {"dense": DPSGD, "dcd": lambda: DCDPSGD(4.0)}.items():
+            partitions, _, model_factory, config, network = build_setup()
+            algorithm = factory()
+            algorithm.setup(
+                make_workers(model_factory, partitions, config), network, rng=0
+            )
+            algorithm.run_round(0)
+            traffic[name] = network.worker_traffic_mb(0)
+        assert traffic["dcd"] < traffic["dense"]
+
+
+class TestSAPSPSGD:
+    def test_traffic_matches_2n_over_c(self):
+        partitions, _, model_factory, config, network = build_setup()
+        algorithm = SAPSPSGD(compression_ratio=10.0)
+        algorithm.setup(make_workers(model_factory, partitions, config), network, rng=0)
+        rounds = 20
+        for t in range(rounds):
+            algorithm.run_round(t)
+        measured = network.meter.mean_worker_traffic_mb()
+        expected = 2 * (algorithm.model_size / 10.0) * BYTES_PER_VALUE * rounds / MB
+        assert measured == pytest.approx(expected, rel=0.2)
+
+    def test_lowest_traffic_of_all_algorithms(self):
+        traffic = {}
+        for factory in ALL_ALGORITHMS:
+            partitions, validation, model_factory, config, network = build_setup(seed=3)
+            algorithm = factory()
+            result = run_experiment(
+                algorithm, partitions, validation, model_factory, config, network
+            )
+            traffic[algorithm.name] = result.history[-1].worker_traffic_mb
+        assert min(traffic, key=traffic.get) == "SAPS-PSGD"
+
+    def test_coordinator_round_protocol_completes(self):
+        partitions, _, model_factory, config, network = build_setup()
+        algorithm = SAPSPSGD(compression_ratio=10.0)
+        algorithm.setup(make_workers(model_factory, partitions, config), network, rng=0)
+        algorithm.run_round(0)
+        assert algorithm.coordinator.round_complete()
+
+    def test_round_bandwidths_recorded_with_bandwidth(self):
+        bandwidth = random_uniform_bandwidth(N_WORKERS, rng=0)
+        partitions, _, model_factory, config, network = build_setup(
+            bandwidth=bandwidth
+        )
+        algorithm = SAPSPSGD(compression_ratio=10.0)
+        algorithm.setup(make_workers(model_factory, partitions, config), network, rng=0)
+        for t in range(5):
+            algorithm.run_round(t)
+        assert len(algorithm.round_bandwidths) == 5
+        assert all(b > 0 for b in algorithm.round_bandwidths)
+
+    def test_random_selector_variant(self):
+        partitions, validation, model_factory, config, network = build_setup()
+        result = run_experiment(
+            RandomChoosePSGD(compression_ratio=10.0),
+            partitions, validation, model_factory, config, network,
+        )
+        assert result.algorithm == "RandomChoose"
+        assert result.final_accuracy > 0.7
+
+    def test_ring_selector_variant(self):
+        partitions, validation, model_factory, config, network = build_setup()
+        result = run_experiment(
+            SAPSPSGD(compression_ratio=10.0, selector="ring"),
+            partitions, validation, model_factory, config, network,
+        )
+        assert result.final_accuracy > 0.7
+
+    def test_invalid_selector(self):
+        with pytest.raises(ValueError):
+            SAPSPSGD(selector="bogus")
+
+    def test_mask_sparsity_on_wire(self):
+        """Per-exchange payloads must carry ≈N/c values (no indices)."""
+        partitions, _, model_factory, config, network = build_setup()
+        algorithm = SAPSPSGD(compression_ratio=10.0)
+        algorithm.setup(make_workers(model_factory, partitions, config), network, rng=0)
+        algorithm.run_round(0)
+        per_transfer = [r.num_bytes for r in network.meter.records]
+        expected = algorithm.model_size / 10.0 * BYTES_PER_VALUE
+        for bytes_sent in per_transfer:
+            assert bytes_sent == pytest.approx(expected, rel=0.5)
+
+
+class TestSetupValidation:
+    def test_needs_two_workers(self):
+        partitions, _, model_factory, config, network = build_setup()
+        workers = make_workers(model_factory, partitions[:1], config)
+        with pytest.raises(ValueError):
+            PSGD().setup(workers, network)
+
+    def test_network_size_mismatch(self):
+        partitions, _, model_factory, config, _ = build_setup()
+        workers = make_workers(model_factory, partitions, config)
+        with pytest.raises(ValueError):
+            PSGD().setup(workers, SimulatedNetwork(N_WORKERS + 1))
+
+    def test_initial_models_synchronized(self):
+        partitions, _, model_factory, config, network = build_setup()
+        workers = make_workers(model_factory, partitions, config)
+        algorithm = PSGD()
+        algorithm.setup(workers, network, rng=0)
+        reference = workers[0].get_params()
+        for worker in workers[1:]:
+            np.testing.assert_array_equal(worker.get_params(), reference)

@@ -1,0 +1,195 @@
+"""Tests for Algorithm 3 (adaptive peer selection) and gossip matrices."""
+
+import numpy as np
+import pytest
+
+from repro.core.gossip import (
+    AdaptivePeerSelector,
+    FixedRingSelector,
+    RandomPeerSelector,
+    gossip_matrix_from_matching,
+    ring_gossip_matrix,
+)
+from repro.core.matching import is_valid_matching
+from repro.network.bandwidth import random_uniform_bandwidth
+from repro.network.topology import adjacency_from_edges, is_connected
+from repro.theory.spectral import is_doubly_stochastic, second_largest_eigenvalue
+
+
+class TestGossipMatrixFromMatching:
+    def test_matched_pairs_average(self):
+        gossip = gossip_matrix_from_matching([(0, 1)], 2)
+        np.testing.assert_array_equal(gossip, [[0.5, 0.5], [0.5, 0.5]])
+
+    def test_unmatched_worker_keeps_model(self):
+        gossip = gossip_matrix_from_matching([(0, 1)], 3)
+        assert gossip[2, 2] == 1.0
+        assert gossip[2, 0] == gossip[2, 1] == 0.0
+
+    def test_doubly_stochastic(self):
+        gossip = gossip_matrix_from_matching([(0, 3), (1, 2)], 5)
+        assert is_doubly_stochastic(gossip)
+
+    def test_symmetric(self):
+        gossip = gossip_matrix_from_matching([(0, 2), (1, 3)], 4)
+        np.testing.assert_array_equal(gossip, gossip.T)
+
+    def test_each_row_two_nonzeros(self):
+        """Section II-C: "each row in our gossip matrix has only two
+        non-zero elements" (matched workers)."""
+        gossip = gossip_matrix_from_matching([(0, 1), (2, 3)], 4)
+        np.testing.assert_array_equal((gossip != 0).sum(axis=1), [2, 2, 2, 2])
+
+
+class TestRingGossipMatrix:
+    def test_doubly_stochastic(self):
+        assert is_doubly_stochastic(ring_gossip_matrix(8))
+
+    def test_spectral_gap_positive(self):
+        rho = second_largest_eigenvalue(ring_gossip_matrix(8))
+        assert rho < 1.0
+
+    def test_too_small_ring(self):
+        with pytest.raises(ValueError):
+            ring_gossip_matrix(2)
+
+
+class TestAdaptivePeerSelector:
+    @pytest.fixture
+    def bandwidth(self):
+        return random_uniform_bandwidth(8, rng=0)
+
+    def test_perfect_matching_every_round(self, bandwidth):
+        selector = AdaptivePeerSelector(bandwidth, rng=0)
+        for t in range(30):
+            result = selector.select(t)
+            assert len(result.matching) == 4
+            assert is_valid_matching(result.matching, 8)
+            assert is_doubly_stochastic(result.gossip)
+
+    def test_odd_worker_count_leaves_one_unmatched(self):
+        bandwidth = random_uniform_bandwidth(7, rng=0)
+        selector = AdaptivePeerSelector(bandwidth, rng=0)
+        result = selector.select(0)
+        assert len(result.matching) == 3
+        assert is_doubly_stochastic(result.gossip)
+
+    def test_timestamps_updated(self, bandwidth):
+        selector = AdaptivePeerSelector(bandwidth, rng=0)
+        result = selector.select(5)
+        for a, b in result.matching:
+            assert selector.timestamps[a, b] == 5
+            assert selector.timestamps[b, a] == 5
+
+    def test_first_round_uses_fallback(self, bandwidth):
+        """Round 0 has an empty RC graph (disconnected), so Algorithm 3
+        takes the cross-subgraph branch."""
+        selector = AdaptivePeerSelector(bandwidth, rng=0)
+        assert selector.select(0).used_fallback
+
+    def test_rc_edges_eventually_connect(self, bandwidth):
+        """Over T_thres rounds, the selector must keep the union of
+        recently-used edges connected (Assumption 3's mechanism)."""
+        selector = AdaptivePeerSelector(bandwidth, connectivity_gap=10, rng=0)
+        for t in range(40):
+            selector.select(t)
+        rc = selector.recently_connected(40)
+        assert is_connected(rc)
+
+    def test_prefers_filtered_edges_when_connected(self, bandwidth):
+        """After warm-up, matchings should be drawn from B* (links at or
+        above the threshold) in non-fallback rounds."""
+        threshold = float(np.median(bandwidth[~np.eye(8, dtype=bool)]))
+        selector = AdaptivePeerSelector(
+            bandwidth, bandwidth_threshold=threshold, connectivity_gap=50, rng=0
+        )
+        above = 0
+        checked = 0
+        for t in range(60):
+            result = selector.select(t)
+            if t < 10 or result.used_fallback or result.second_pass_pairs:
+                continue
+            checked += 1
+            for a, b in result.matching:
+                assert bandwidth[a, b] >= threshold
+                above += 1
+        assert checked > 0
+
+    def test_higher_bandwidth_than_random(self, bandwidth):
+        """Fig. 5's headline: adaptive selection picks better links than
+        random matching on average."""
+        adaptive = AdaptivePeerSelector(bandwidth, connectivity_gap=20, rng=0)
+        random_selector = RandomPeerSelector(8, rng=0)
+
+        def mean_bottleneck(selector, rounds=100):
+            values = []
+            for t in range(rounds):
+                matching = selector.select(t).matching
+                values.append(min(bandwidth[a, b] for a, b in matching))
+            return float(np.mean(values))
+
+        assert mean_bottleneck(adaptive) > mean_bottleneck(random_selector)
+
+    def test_default_threshold_is_median(self, bandwidth):
+        selector = AdaptivePeerSelector(bandwidth, rng=0)
+        expected = float(np.median(bandwidth[~np.eye(8, dtype=bool)]))
+        assert selector.bandwidth_threshold == pytest.approx(expected)
+
+    def test_invalid_gap(self, bandwidth):
+        with pytest.raises(ValueError):
+            AdaptivePeerSelector(bandwidth, connectivity_gap=0)
+
+    def test_overtime_matrix_links_components(self):
+        bandwidth = np.ones((4, 4)) - np.eye(4)
+        selector = AdaptivePeerSelector(bandwidth, connectivity_gap=5, rng=0)
+        # Mark (0,1) and (2,3) recently connected.
+        selector.timestamps[0, 1] = selector.timestamps[1, 0] = 9
+        selector.timestamps[2, 3] = selector.timestamps[3, 2] = 9
+        cross = selector.overtime_matrix(10)
+        assert cross[0, 2] and cross[1, 3]
+        assert not cross[0, 1] and not cross[2, 3]
+
+    def test_unmatched_graph(self):
+        graph = AdaptivePeerSelector.unmatched_graph([(0, 1)], 4)
+        assert graph[2, 3]
+        assert not graph[0, 2]
+
+    def test_weighted_variant_runs(self, bandwidth):
+        selector = AdaptivePeerSelector(bandwidth, rng=0, prefer_weighted=True)
+        for t in range(10):
+            result = selector.select(t)
+            assert len(result.matching) == 4
+
+
+class TestRandomPeerSelector:
+    def test_perfect_matchings(self):
+        selector = RandomPeerSelector(10, rng=0)
+        for t in range(10):
+            result = selector.select(t)
+            assert len(result.matching) == 5
+            assert is_doubly_stochastic(result.gossip)
+
+    def test_variability(self):
+        selector = RandomPeerSelector(8, rng=0)
+        assert len({tuple(selector.select(t).matching) for t in range(15)}) > 1
+
+
+class TestFixedRingSelector:
+    def test_alternates_two_matchings(self):
+        selector = FixedRingSelector(6)
+        even = selector.select(0).matching
+        odd = selector.select(1).matching
+        assert even == [(0, 1), (2, 3), (4, 5)]
+        assert odd == [(0, 5), (1, 2), (3, 4)]
+        assert selector.select(2).matching == even
+
+    def test_union_is_connected(self):
+        """Both matchings together form the ring — the PC-edge
+        connectivity Assumption 3 asks for."""
+        selector = FixedRingSelector(8)
+        edges = selector.select(0).matching + selector.select(1).matching
+        assert is_connected(adjacency_from_edges(8, edges))
+
+    def test_odd_count_rejected(self):
+        with pytest.raises(ValueError):
+            FixedRingSelector(5)

@@ -1,0 +1,199 @@
+"""Tests for the blossom matching implementation.
+
+Maximum-cardinality results are cross-checked against networkx's
+independent implementation, including on the classic blossom-requiring
+graphs (odd cycles, Petersen graph).
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.matching import (
+    greedy_weighted_matching,
+    is_valid_matching,
+    matching_to_partner_array,
+    max_cardinality_matching,
+    randomly_max_match,
+)
+from repro.network.topology import adjacency_from_edges, complete_adjacency, ring_adjacency
+
+
+def nx_max_matching_size(adjacency):
+    graph = nx.from_numpy_array(np.asarray(adjacency, dtype=int))
+    return len(nx.max_weight_matching(graph, maxcardinality=True))
+
+
+class TestMaxCardinalityMatching:
+    def test_single_edge(self):
+        adjacency = adjacency_from_edges(2, [(0, 1)])
+        assert max_cardinality_matching(adjacency) == [(0, 1)]
+
+    def test_path_of_three(self):
+        adjacency = adjacency_from_edges(3, [(0, 1), (1, 2)])
+        match = max_cardinality_matching(adjacency)
+        assert len(match) == 1
+
+    def test_odd_cycle_needs_blossom(self):
+        """A 5-cycle: maximum matching is 2; greedy alone can achieve it,
+        but the augmentation path goes through a blossom."""
+        adjacency = ring_adjacency(5)
+        match = max_cardinality_matching(adjacency)
+        assert len(match) == 2
+        assert is_valid_matching(match, 5)
+
+    def test_two_triangles_bridge(self):
+        """Classic blossom test: two triangles joined by a bridge has a
+        perfect matching on 6 vertices."""
+        edges = [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)]
+        adjacency = adjacency_from_edges(6, edges)
+        match = max_cardinality_matching(adjacency)
+        assert len(match) == 3
+
+    def test_petersen_graph_perfect_matching(self):
+        petersen = nx.petersen_graph()
+        adjacency = nx.to_numpy_array(petersen).astype(bool)
+        match = max_cardinality_matching(adjacency)
+        assert len(match) == 5  # Petersen has a perfect matching
+
+    def test_complete_graph_even(self):
+        match = max_cardinality_matching(complete_adjacency(8))
+        assert len(match) == 4
+        assert is_valid_matching(match, 8)
+
+    def test_complete_graph_odd_leaves_one(self):
+        match = max_cardinality_matching(complete_adjacency(7))
+        assert len(match) == 3
+
+    def test_empty_graph(self):
+        assert max_cardinality_matching(np.zeros((4, 4), dtype=bool)) == []
+
+    def test_star_graph(self):
+        edges = [(0, i) for i in range(1, 6)]
+        match = max_cardinality_matching(adjacency_from_edges(6, edges))
+        assert len(match) == 1
+
+    def test_asymmetric_rejected(self):
+        bad = np.zeros((3, 3), dtype=bool)
+        bad[0, 1] = True
+        with pytest.raises(ValueError):
+            max_cardinality_matching(bad)
+
+    def test_self_loop_rejected(self):
+        bad = np.eye(3, dtype=bool)
+        with pytest.raises(ValueError):
+            max_cardinality_matching(bad)
+
+    def test_initial_match_extended(self):
+        adjacency = ring_adjacency(6)
+        initial = [-1] * 6
+        initial[0], initial[1] = 1, 0
+        match = max_cardinality_matching(adjacency, initial_match=initial)
+        assert len(match) == 3
+
+    def test_inconsistent_initial_match_rejected(self):
+        adjacency = ring_adjacency(4)
+        with pytest.raises(ValueError):
+            max_cardinality_matching(adjacency, initial_match=[1, -1, -1, -1])
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_networkx_on_random_graphs(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 14))
+        density = rng.uniform(0.1, 0.7)
+        upper = rng.random((n, n)) < density
+        adjacency = np.triu(upper, 1)
+        adjacency = adjacency | adjacency.T
+        match = max_cardinality_matching(adjacency)
+        assert is_valid_matching(match, n)
+        assert len(match) == nx_max_matching_size(adjacency)
+        for a, b in match:
+            assert adjacency[a, b]
+
+
+class TestRandomlyMaxMatch:
+    def test_cardinality_is_maximum(self):
+        adjacency = complete_adjacency(10)
+        for seed in range(5):
+            match = randomly_max_match(adjacency, rng=seed)
+            assert len(match) == 5
+
+    def test_randomization_varies_matchings(self):
+        adjacency = complete_adjacency(8)
+        matchings = {tuple(randomly_max_match(adjacency, rng=s)) for s in range(20)}
+        assert len(matchings) > 1
+
+    def test_edges_belong_to_graph(self):
+        adjacency = ring_adjacency(9)
+        match = randomly_max_match(adjacency, rng=0)
+        for a, b in match:
+            assert adjacency[a, b]
+
+    def test_deterministic_given_seed(self):
+        adjacency = complete_adjacency(6)
+        assert randomly_max_match(adjacency, rng=3) == randomly_max_match(
+            adjacency, rng=3
+        )
+
+    @given(st.integers(min_value=2, max_value=12), st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_property_valid_and_maximum(self, n, seed):
+        rng = np.random.default_rng(seed)
+        upper = rng.random((n, n)) < 0.4
+        adjacency = np.triu(upper, 1)
+        adjacency = adjacency | adjacency.T
+        match = randomly_max_match(adjacency, rng=seed)
+        assert is_valid_matching(match, n)
+        assert len(match) == nx_max_matching_size(adjacency)
+
+
+class TestGreedyWeightedMatching:
+    def test_prefers_heavy_edges(self):
+        weights = np.zeros((4, 4))
+        weights[0, 1] = weights[1, 0] = 10.0
+        weights[2, 3] = weights[3, 2] = 10.0
+        weights[1, 2] = weights[2, 1] = 100.0
+        weights[0, 3] = weights[3, 0] = 1.0
+        match = greedy_weighted_matching(weights, rng=0)
+        assert (1, 2) in match  # heaviest edge taken first
+        assert len(match) == 2  # completed to a perfect matching
+
+    def test_empty_weights(self):
+        assert greedy_weighted_matching(np.zeros((4, 4))) == []
+
+    def test_maximum_cardinality_with_completion(self):
+        rng = np.random.default_rng(0)
+        weights = rng.random((10, 10))
+        weights = np.triu(weights, 1)
+        weights = weights + weights.T
+        match = greedy_weighted_matching(weights, rng=0)
+        assert len(match) == 5
+
+    def test_without_completion_can_be_smaller(self):
+        # Path 0-1-2-3 with heavy middle edge: greedy takes (1,2) and
+        # cannot match 0 or 3 without augmentation.
+        weights = np.zeros((4, 4))
+        for (a, b), w in {(0, 1): 1.0, (1, 2): 5.0, (2, 3): 1.0}.items():
+            weights[a, b] = weights[b, a] = w
+        short = greedy_weighted_matching(weights, rng=0, complete_with_blossom=False)
+        full = greedy_weighted_matching(weights, rng=0, complete_with_blossom=True)
+        assert len(short) == 1
+        assert len(full) == 2
+
+
+class TestMatchingHelpers:
+    def test_valid_matching_checks(self):
+        assert is_valid_matching([(0, 1), (2, 3)], 4)
+        assert not is_valid_matching([(0, 0)], 2)
+        assert not is_valid_matching([(0, 1), (1, 2)], 3)
+        assert not is_valid_matching([(0, 5)], 3)
+
+    def test_partner_array(self):
+        partners = matching_to_partner_array([(0, 2)], 4)
+        np.testing.assert_array_equal(partners, [2, -1, 0, -1])
+
+    def test_partner_array_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            matching_to_partner_array([(0, 1), (1, 2)], 3)

@@ -1,0 +1,147 @@
+"""Tests for trajectory diagnostics and the CLI report pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import SAPSPSGD
+from repro.cli import main
+from repro.data import make_blobs, partition_iid
+from repro.network import SimulatedNetwork
+from repro.nn import MLP
+from repro.sim import ExperimentConfig, run_experiment
+from repro.sim.engine import ExperimentResult, RoundRecord
+from repro.theory import diagnose, efficiency_ranking
+
+
+def synthetic_result(
+    name="X", accuracies=(0.2, 0.6, 0.9), consensus=(1.0, 0.5, 0.25),
+    traffic=(0.1, 0.2, 0.3),
+):
+    result = ExperimentResult(name, ExperimentConfig(rounds=3))
+    for i, (acc, cons, mb) in enumerate(zip(accuracies, consensus, traffic)):
+        result.history.append(
+            RoundRecord(i, 1.0, 1.0, acc, mb, 0.0, 0.1 * i, cons)
+        )
+    return result
+
+
+class TestDiagnose:
+    def test_basic_fields(self):
+        diagnostics = diagnose(synthetic_result())
+        assert diagnostics.algorithm == "X"
+        assert diagnostics.rounds_observed == 3
+        assert diagnostics.final_accuracy == 0.9
+        assert diagnostics.final_consensus == 0.25
+
+    def test_consensus_rate_geometric(self):
+        # Distances halve each snapshot, one round apart -> rate 0.5.
+        diagnostics = diagnose(synthetic_result())
+        assert diagnostics.consensus_rate_per_round == pytest.approx(0.5)
+
+    def test_rate_respects_round_gaps(self):
+        result = ExperimentResult("X", ExperimentConfig(rounds=10))
+        result.history.append(RoundRecord(0, 1, 1, 0.5, 0.1, 0, 0, 1.0))
+        result.history.append(RoundRecord(4, 1, 1, 0.6, 0.2, 0, 0, 1.0 / 16))
+        diagnostics = diagnose(result)
+        # 16x contraction over 4 rounds -> 0.5 per round.
+        assert diagnostics.consensus_rate_per_round == pytest.approx(0.5)
+
+    def test_accuracy_per_mb(self):
+        diagnostics = diagnose(synthetic_result())
+        assert diagnostics.accuracy_per_mb == pytest.approx(0.9 / 0.3)
+
+    def test_zero_traffic_gives_none(self):
+        diagnostics = diagnose(
+            synthetic_result(traffic=(0.0, 0.0, 0.0))
+        )
+        assert diagnostics.accuracy_per_mb is None
+
+    def test_empty_history_rejected(self):
+        with pytest.raises(ValueError):
+            diagnose(ExperimentResult("X", ExperimentConfig(rounds=1)))
+
+    def test_lemma2_consistency_check(self):
+        diagnostics = diagnose(synthetic_result())  # measured rate 0.5
+        # c=1, rho=0.8 -> predicted 0.64 >= 0.5: consistent.
+        assert diagnostics.consistent_with_lemma2(1.0, 0.8)
+        # c=100, rho=0.1 -> predicted ~0.99; still consistent (faster ok).
+        assert diagnostics.consistent_with_lemma2(100.0, 0.1)
+
+    def test_lemma2_violation_detected(self):
+        slow = diagnose(
+            synthetic_result(consensus=(1.0, 1.0, 1.0))
+        )  # rate 1.0
+        # c=1, rho=0.5 -> predicted 0.25; measured 1.0 is a violation.
+        assert not slow.consistent_with_lemma2(1.0, 0.5)
+
+    def test_on_real_run(self, blob_splits):
+        partitions, validation = blob_splits
+        config = ExperimentConfig(rounds=20, eval_every=5, lr=0.2, seed=3)
+        result = run_experiment(
+            SAPSPSGD(compression_ratio=5.0),
+            partitions, validation,
+            lambda: MLP(8, [16], 4, rng=3), config, SimulatedNetwork(4),
+        )
+        diagnostics = diagnose(result)
+        assert diagnostics.final_accuracy > 0.5
+        assert diagnostics.accuracy_per_mb is not None
+
+
+class TestEfficiencyRanking:
+    def test_orders_by_accuracy_per_mb(self):
+        results = {
+            "cheap": synthetic_result("cheap", traffic=(0.01, 0.02, 0.03)),
+            "pricey": synthetic_result("pricey", traffic=(1.0, 2.0, 3.0)),
+        }
+        ranking = efficiency_ranking(results)
+        assert ranking[0][0] == "cheap"
+        assert ranking[0][1] > ranking[1][1]
+
+    def test_none_efficiency_sorts_last(self):
+        results = {
+            "real": synthetic_result("real"),
+            "free": synthetic_result("free", traffic=(0.0, 0.0, 0.0)),
+        }
+        ranking = efficiency_ranking(results)
+        assert ranking[-1][0] == "free"
+
+
+class TestCLIReport:
+    def test_report_from_saved_comparison(self, capsys, tmp_path):
+        comparison_path = tmp_path / "cmp.json"
+        code = main(
+            [
+                "compare", "--workers", "4", "--rounds", "15",
+                "--eval-every", "5", "--compression", "10",
+                "--output", str(comparison_path),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+
+        report_path = tmp_path / "report.md"
+        code = main(
+            [
+                "report", str(comparison_path),
+                "--output", str(report_path), "--title", "CLI test",
+            ]
+        )
+        assert code == 0
+        text = report_path.read_text()
+        assert text.startswith("# CLI test")
+        assert "SAPS-PSGD" in text
+
+    def test_report_to_stdout(self, capsys, tmp_path):
+        comparison_path = tmp_path / "cmp.json"
+        main(
+            [
+                "compare", "--workers", "4", "--rounds", "10",
+                "--eval-every", "5", "--compression", "10",
+                "--output", str(comparison_path),
+            ]
+        )
+        capsys.readouterr()
+        code = main(["report", str(comparison_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "## Final accuracy" in out

@@ -1,0 +1,126 @@
+"""Tests for fault injection and SAPS-PSGD under lossy links."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import SAPSPSGD
+from repro.data import make_blobs, partition_iid
+from repro.network import SimulatedNetwork
+from repro.network.faults import BurstLossModel, NoLoss, PacketLossModel
+from repro.nn import MLP
+from repro.sim import ExperimentConfig, make_workers, run_experiment
+
+
+class TestPacketLossModel:
+    def test_zero_loss_never_fails(self):
+        model = PacketLossModel(0.0, rng=0)
+        assert not any(model.exchange_fails(t, 0, 1) for t in range(100))
+
+    def test_full_loss_always_fails(self):
+        model = PacketLossModel(1.0, rng=0)
+        assert all(model.exchange_fails(t, 0, 1) for t in range(100))
+
+    def test_observed_rate_matches(self):
+        model = PacketLossModel(0.3, rng=0)
+        for t in range(5000):
+            model.exchange_fails(t, 0, 1)
+        assert model.observed_loss_rate == pytest.approx(0.3, abs=0.03)
+
+    def test_per_link_matrix(self):
+        matrix = np.array([[0.0, 1.0], [1.0, 0.0]])
+        model = PacketLossModel(matrix, rng=0)
+        assert model.exchange_fails(0, 0, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PacketLossModel(1.5)
+        with pytest.raises(ValueError):
+            PacketLossModel(np.array([[0.0, 2.0], [2.0, 0.0]]))
+        with pytest.raises(ValueError):
+            PacketLossModel(np.zeros((2, 3)))
+
+    def test_no_loss_model(self):
+        assert not NoLoss().exchange_fails(0, 0, 1)
+
+
+class TestBurstLossModel:
+    def test_loss_rate_between_good_and_bad(self):
+        model = BurstLossModel(
+            8, good_loss=0.0, bad_loss=1.0, p_good_to_bad=0.1,
+            p_bad_to_good=0.3, rng=0,
+        )
+        failures = sum(
+            model.exchange_fails(t, 0, 1) for t in range(2000)
+        )
+        rate = failures / 2000
+        # Stationary bad fraction = 0.1/(0.1+0.3) = 0.25.
+        assert 0.1 < rate < 0.4
+
+    def test_states_are_symmetric(self):
+        model = BurstLossModel(6, rng=0)
+        model.exchange_fails(50, 0, 1)
+        np.testing.assert_array_equal(model._bad, model._bad.T)
+
+    def test_monotone_rounds_required(self):
+        model = BurstLossModel(4, rng=0)
+        model.exchange_fails(10, 0, 1)
+        with pytest.raises(ValueError):
+            model.exchange_fails(5, 0, 1)
+
+    def test_bad_fraction_reported(self):
+        model = BurstLossModel(
+            10, p_good_to_bad=0.5, p_bad_to_good=0.1, rng=0
+        )
+        model.exchange_fails(100, 0, 1)
+        assert 0.0 <= model.bad_fraction() <= 1.0
+        assert model.bad_fraction() > 0.3  # mostly bad at stationarity
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstLossModel(4, good_loss=2.0)
+
+
+class TestSAPSUnderLoss:
+    def _setup(self, loss_model, seed=61, rounds=60):
+        full = make_blobs(num_samples=440, num_classes=4, num_features=8, rng=seed)
+        train, validation = full.split(fraction=0.8, rng=seed)
+        partitions = partition_iid(train, 6, rng=seed)
+        config = ExperimentConfig(
+            rounds=rounds, batch_size=16, lr=0.2, eval_every=20, seed=seed
+        )
+        algorithm = SAPSPSGD(compression_ratio=5.0, loss_model=loss_model)
+        result = run_experiment(
+            algorithm, partitions, validation,
+            lambda: MLP(8, [16], 4, rng=seed), config, SimulatedNetwork(6),
+        )
+        return algorithm, result
+
+    def test_converges_under_moderate_loss(self):
+        algorithm, result = self._setup(PacketLossModel(0.2, rng=1))
+        assert result.final_accuracy > 0.8
+        assert algorithm.dropped_exchanges > 0
+
+    def test_converges_under_bursty_loss(self):
+        algorithm, result = self._setup(
+            BurstLossModel(6, good_loss=0.02, bad_loss=0.6, rng=1)
+        )
+        assert result.final_accuracy > 0.8
+
+    def test_total_loss_stalls_consensus_but_does_not_crash(self):
+        algorithm, result = self._setup(PacketLossModel(1.0, rng=1), rounds=20)
+        # Every exchange dropped -> workers never mix.
+        assert algorithm.dropped_exchanges == algorithm.num_workers // 2 * 20
+        assert result.history[-1].consensus_distance > 0
+
+    def test_loss_reduces_consensus_quality(self):
+        _, clean = self._setup(None)
+        _, lossy = self._setup(PacketLossModel(0.5, rng=1))
+        assert (
+            lossy.history[-1].consensus_distance
+            >= clean.history[-1].consensus_distance * 0.5
+        )
+
+    def test_dropped_exchange_counter_matches_model(self):
+        loss = PacketLossModel(0.3, rng=2)
+        algorithm, _ = self._setup(loss)
+        assert algorithm.dropped_exchanges == loss.failures

@@ -1,0 +1,162 @@
+"""Tests for result serialization (analysis.io) and the CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.io import (
+    load_comparison,
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_comparison,
+    save_result,
+)
+from repro.cli import main
+from repro.sim.engine import ExperimentConfig, ExperimentResult, RoundRecord
+
+
+def make_result(name="SAPS-PSGD"):
+    result = ExperimentResult(name, ExperimentConfig(rounds=5, seed=3))
+    for i in range(3):
+        result.history.append(
+            RoundRecord(
+                round_index=i,
+                train_loss=1.0 / (i + 1),
+                val_loss=2.0 / (i + 1),
+                val_accuracy=0.3 * (i + 1),
+                worker_traffic_mb=0.1 * i,
+                server_traffic_mb=0.0,
+                comm_time_s=0.2 * i,
+                consensus_distance=0.01,
+            )
+        )
+    return result
+
+
+class TestResultIO:
+    def test_round_trip_in_memory(self):
+        result = make_result()
+        back = result_from_dict(result_to_dict(result))
+        assert back.algorithm == result.algorithm
+        assert back.config == result.config
+        assert back.history == result.history
+
+    def test_round_trip_on_disk(self, tmp_path):
+        result = make_result()
+        path = save_result(result, tmp_path / "nested" / "run.json")
+        assert path.exists()
+        back = load_result(path)
+        assert back.history == result.history
+
+    def test_comparison_round_trip(self, tmp_path):
+        results = {"a": make_result("a"), "b": make_result("b")}
+        path = save_comparison(results, tmp_path / "cmp.json")
+        back = load_comparison(path)
+        assert set(back) == {"a", "b"}
+        assert back["a"].history == results["a"].history
+
+    def test_version_check(self):
+        payload = result_to_dict(make_result())
+        payload["format_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            result_from_dict(payload)
+
+    def test_json_is_plain(self, tmp_path):
+        path = save_result(make_result(), tmp_path / "run.json")
+        payload = json.loads(path.read_text())
+        assert payload["algorithm"] == "SAPS-PSGD"
+        assert isinstance(payload["history"], list)
+
+
+class TestCLI:
+    def test_run_saps(self, capsys, tmp_path):
+        code = main(
+            [
+                "run", "--algorithm", "saps-psgd", "--workers", "4",
+                "--rounds", "10", "--eval-every", "5", "--compression", "10",
+                "--output", str(tmp_path / "out.json"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SAPS-PSGD trajectory" in out
+        assert (tmp_path / "out.json").exists()
+        back = load_result(tmp_path / "out.json")
+        assert back.algorithm == "SAPS-PSGD"
+
+    def test_run_each_algorithm(self, capsys):
+        for name in ["psgd", "fedavg", "d-psgd"]:
+            code = main(
+                [
+                    "run", "--algorithm", name, "--workers", "4",
+                    "--rounds", "4", "--eval-every", "2", "--compression", "5",
+                ]
+            )
+            assert code == 0
+
+    def test_compare(self, capsys, tmp_path):
+        code = main(
+            [
+                "compare", "--workers", "4", "--rounds", "20",
+                "--eval-every", "5", "--compression", "10",
+                "--output", str(tmp_path / "cmp.json"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Comparison summary" in out
+        assert "Cost to reach" in out
+        back = load_comparison(tmp_path / "cmp.json")
+        assert "SAPS-PSGD" in back
+
+    def test_compare_non_iid(self, capsys):
+        code = main(
+            [
+                "compare", "--workers", "4", "--rounds", "10",
+                "--eval-every", "5", "--compression", "10", "--non-iid",
+                "--samples-per-worker", "80",
+            ]
+        )
+        assert code == 0
+
+    def test_table1(self, capsys):
+        code = main(["table1", "--workers", "32"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SAPS-PSGD" in out
+        assert "Table I" in out
+
+    def test_rho(self, capsys):
+        code = main(["rho", "--workers", "8", "--rho-samples", "50"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Assumption 3" in out
+        assert "adaptive" in out
+
+    def test_run_with_preset(self, capsys):
+        code = main(
+            [
+                "run", "--preset", "mnist-cnn", "--workers", "4",
+                "--compression", "10", "--samples-per-worker", "20",
+                "--validation-samples", "40",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Preset: mnist-cnn" in out
+        assert "SAPS-PSGD trajectory" in out
+
+    def test_fig1_requires_14_workers(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--bandwidth", "fig1", "--workers", "8", "--rounds", "4"])
+
+    def test_fig1_environment_runs(self, capsys):
+        code = main(
+            [
+                "run", "--bandwidth", "fig1", "--workers", "14",
+                "--rounds", "4", "--eval-every", "2", "--compression", "10",
+            ]
+        )
+        assert code == 0

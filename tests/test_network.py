@@ -1,0 +1,249 @@
+"""Tests for the network substrate: bandwidth, topology, metrics, transport."""
+
+import numpy as np
+import pytest
+
+from repro.compression import DensePayload
+from repro.network import (
+    FIG1_BANDWIDTH_MBPS,
+    FIG1_CITIES,
+    CommunicationTimer,
+    MB,
+    SimulatedNetwork,
+    TrafficMeter,
+    adjacency_from_edges,
+    bandwidth_stats,
+    clustered_bandwidth,
+    complete_adjacency,
+    connected_components,
+    edges_of,
+    fig1_environment,
+    is_connected,
+    mbits_to_mbytes,
+    random_regular_adjacency,
+    random_uniform_bandwidth,
+    ring_adjacency,
+    symmetrize_min,
+    threshold_graph,
+    utilized_bandwidth_per_round,
+)
+
+
+class TestFig1Data:
+    def test_dimensions(self):
+        assert FIG1_BANDWIDTH_MBPS.shape == (14, 14)
+        assert len(FIG1_CITIES) == 14
+
+    def test_diagonal_is_nan(self):
+        assert np.all(np.isnan(np.diag(FIG1_BANDWIDTH_MBPS)))
+
+    def test_spot_values_from_paper(self):
+        """A few cells checked against the figure."""
+        cities = FIG1_CITIES
+        get = lambda a, b: FIG1_BANDWIDTH_MBPS[cities.index(a), cities.index(b)]
+        assert get("AmaFrankfurtamMain", "AmaLondon") == 331.2
+        assert get("AliBeijing", "AliShanghai") == 1.3
+        assert get("AmaLondon", "AliBeijing") == 0.2
+        assert get("AmaSaoPaulo", "AliBeijing") == 0.1
+
+    def test_environment_symmetric_mbps(self):
+        env = fig1_environment()
+        assert env.shape == (14, 14)
+        np.testing.assert_array_equal(env, env.T)
+        assert np.all(np.diag(env) == 0)
+        # London<->Beijing bottleneck is min(0.2, 1.6) = 0.2 Mbit/s = 0.025 MB/s.
+        i, j = FIG1_CITIES.index("AmaLondon"), FIG1_CITIES.index("AliBeijing")
+        assert env[i, j] == pytest.approx(0.2 / 8)
+
+
+class TestBandwidthGenerators:
+    def test_symmetrize_min(self):
+        matrix = np.array([[np.nan, 3.0], [1.0, np.nan]])
+        result = symmetrize_min(matrix)
+        np.testing.assert_array_equal(result, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_random_uniform_properties(self):
+        matrix = random_uniform_bandwidth(16, rng=0)
+        np.testing.assert_array_equal(matrix, matrix.T)
+        off_diag = matrix[~np.eye(16, dtype=bool)]
+        assert np.all(off_diag > 0.0)
+        assert np.all(off_diag <= 5.0)
+
+    def test_random_uniform_validation(self):
+        with pytest.raises(ValueError):
+            random_uniform_bandwidth(0)
+        with pytest.raises(ValueError):
+            random_uniform_bandwidth(4, low=5.0, high=5.0)
+
+    def test_clustered_structure(self):
+        matrix = clustered_bandwidth(
+            12, num_clusters=3, intra_cluster=10.0, inter_cluster=1.0,
+            jitter=0.0, rng=0,
+        )
+        assert matrix[0, 1] == pytest.approx(10.0)  # same cluster
+        assert matrix[0, 11] == pytest.approx(1.0)  # different cluster
+
+    def test_mbits_conversion(self):
+        assert mbits_to_mbytes(np.array([8.0]))[0] == 1.0
+
+    def test_stats(self):
+        stats = bandwidth_stats(random_uniform_bandwidth(8, rng=1))
+        assert 0 < stats["min"] <= stats["median"] <= stats["max"] <= 5.0
+
+
+class TestTopology:
+    def test_ring_degree_two(self):
+        ring = ring_adjacency(8)
+        np.testing.assert_array_equal(ring.sum(axis=0), 2 * np.ones(8))
+        assert is_connected(ring)
+
+    def test_ring_of_two(self):
+        ring = ring_adjacency(2)
+        assert ring[0, 1] and ring[1, 0]
+
+    def test_complete(self):
+        adj = complete_adjacency(5)
+        assert adj.sum() == 5 * 4
+        assert not np.any(np.diag(adj))
+
+    def test_random_regular(self):
+        adj = random_regular_adjacency(10, 3, rng=0)
+        np.testing.assert_array_equal(adj.sum(axis=0), 3 * np.ones(10))
+        np.testing.assert_array_equal(adj, adj.T)
+
+    def test_random_regular_parity_check(self):
+        with pytest.raises(ValueError):
+            random_regular_adjacency(5, 3)
+
+    def test_connectivity(self):
+        disconnected = adjacency_from_edges(4, [(0, 1), (2, 3)])
+        assert not is_connected(disconnected)
+        assert is_connected(adjacency_from_edges(4, [(0, 1), (1, 2), (2, 3)]))
+
+    def test_isolated_vertex_not_connected(self):
+        assert not is_connected(adjacency_from_edges(3, [(0, 1)]))
+
+    def test_connected_components(self):
+        adjacency = adjacency_from_edges(5, [(0, 1), (2, 3)])
+        components = connected_components(adjacency)
+        assert components == [[0, 1], [2, 3], [4]]
+
+    def test_edges_round_trip(self):
+        edges = [(0, 2), (1, 3)]
+        adjacency = adjacency_from_edges(4, edges)
+        assert edges_of(adjacency) == edges
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            adjacency_from_edges(3, [(1, 1)])
+
+    def test_threshold_graph(self):
+        bandwidth = np.array(
+            [[0.0, 5.0, 1.0], [5.0, 0.0, 3.0], [1.0, 3.0, 0.0]]
+        )
+        graph = threshold_graph(bandwidth, 3.0)
+        assert graph[0, 1] and graph[1, 2]
+        assert not graph[0, 2]
+        assert not np.any(np.diag(graph))
+
+
+class TestTrafficMeter:
+    def test_per_worker_accounting(self):
+        meter = TrafficMeter(3)
+        meter.record(0, 0, 1, 100)
+        meter.record(0, 1, 0, 50)
+        assert meter.worker_bytes(0) == 150
+        assert meter.worker_bytes(1) == 150
+        assert meter.worker_bytes(2) == 0
+
+    def test_server_slot(self):
+        meter = TrafficMeter(2)
+        meter.record(0, TrafficMeter.SERVER, 0, 10)
+        meter.record(0, 0, TrafficMeter.SERVER, 20)
+        assert meter.server_traffic_mb() == pytest.approx(30 / MB)
+
+    def test_mb_conversions(self):
+        meter = TrafficMeter(2)
+        meter.record(0, 0, 1, int(2 * MB))
+        assert meter.worker_traffic_mb(0) == pytest.approx(2.0)
+        assert meter.max_worker_traffic_mb() == pytest.approx(2.0)
+        assert meter.total_traffic_mb() == pytest.approx(2.0)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficMeter(2).record(0, 0, 1, -1)
+
+    def test_out_of_range_node(self):
+        with pytest.raises(ValueError):
+            TrafficMeter(2).record(0, 0, 5, 1)
+
+
+class TestCommunicationTimer:
+    def test_round_time_is_max_concurrent(self):
+        timer = CommunicationTimer()
+        timer.add_transfer(10 * MB, 10.0)  # 1s
+        timer.add_transfer(10 * MB, 2.0)  # 5s
+        assert timer.finish_round() == pytest.approx(5.0)
+        assert timer.total_seconds == pytest.approx(5.0)
+
+    def test_empty_round(self):
+        timer = CommunicationTimer()
+        assert timer.finish_round() == 0.0
+
+    def test_multiple_rounds_accumulate(self):
+        timer = CommunicationTimer()
+        timer.add_transfer(MB, 1.0)
+        timer.finish_round()
+        timer.add_transfer(2 * MB, 1.0)
+        timer.finish_round()
+        assert timer.total_seconds == pytest.approx(3.0)
+        assert timer.round_seconds == pytest.approx([1.0, 2.0])
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            CommunicationTimer().add_transfer(MB, 0.0)
+
+    def test_zero_bytes_free(self):
+        timer = CommunicationTimer()
+        assert timer.add_transfer(0, 1.0) == 0.0
+
+
+class TestUtilizedBandwidth:
+    def test_minimum_link(self):
+        bandwidth = np.array(
+            [[0, 5.0, 1.0], [5.0, 0, 2.0], [1.0, 2.0, 0]]
+        )
+        assert utilized_bandwidth_per_round([(0, 1), (1, 2)], bandwidth) == 2.0
+
+    def test_empty_matching(self):
+        assert utilized_bandwidth_per_round([], np.zeros((2, 2))) == float("inf")
+
+
+class TestSimulatedNetwork:
+    def test_send_accounts_bytes_and_time(self):
+        bandwidth = np.array([[0.0, 2.0], [2.0, 0.0]])
+        network = SimulatedNetwork(2, bandwidth=bandwidth)
+        payload = DensePayload(np.zeros(int(MB / 4)))  # 1 MB
+        network.send(0, 0, 1, payload)
+        assert network.worker_traffic_mb(0) == pytest.approx(1.0)
+        assert network.finish_round() == pytest.approx(0.5)
+
+    def test_exchange_symmetric(self):
+        network = SimulatedNetwork(2)
+        payload = DensePayload(np.zeros(100))
+        network.exchange(0, 0, 1, payload, payload)
+        assert network.worker_traffic_mb(0) == network.worker_traffic_mb(1)
+
+    def test_no_bandwidth_no_time(self):
+        network = SimulatedNetwork(2)
+        network.send(0, 0, 1, DensePayload(np.zeros(100)))
+        assert network.finish_round() == 0.0
+
+    def test_server_link(self):
+        network = SimulatedNetwork(2, server_bandwidth=4.0)
+        network.send_bytes(0, TrafficMeter.SERVER, 0, int(MB))
+        assert network.finish_round() == pytest.approx(0.25)
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            SimulatedNetwork(3, bandwidth=np.zeros((2, 2)))

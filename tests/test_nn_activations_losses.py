@@ -1,0 +1,127 @@
+"""Tests for activations and losses."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    CrossEntropyLoss,
+    LeakyReLU,
+    MSELoss,
+    NLLLoss,
+    ReLU,
+    Sigmoid,
+    Tanh,
+    accuracy,
+)
+from repro.nn.functional import log_softmax
+from tests.conftest import numerical_gradient
+
+
+class TestActivations:
+    @pytest.mark.parametrize(
+        "layer_cls", [ReLU, LeakyReLU, Tanh, Sigmoid]
+    )
+    def test_gradients(self, rng, grad_check, layer_cls):
+        # Avoid the ReLU kink at exactly zero.
+        inputs = rng.normal(size=(4, 6))
+        inputs[np.abs(inputs) < 1e-3] = 0.5
+        grad_check(layer_cls(), inputs)
+
+    def test_relu_values(self):
+        out = ReLU().forward(np.array([[-1.0, 0.0, 2.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 0.0, 2.0]])
+
+    def test_leaky_relu_slope(self):
+        out = LeakyReLU(0.1).forward(np.array([[-10.0, 10.0]]))
+        np.testing.assert_allclose(out, [[-1.0, 10.0]])
+
+    def test_tanh_range(self, rng):
+        out = Tanh().forward(rng.normal(scale=10, size=(5, 5)))
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_sigmoid_symmetry(self):
+        layer = Sigmoid()
+        assert layer.forward(np.array([[0.0]]))[0, 0] == pytest.approx(0.5)
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_loss(self):
+        loss, _ = CrossEntropyLoss()(np.zeros((4, 10)), np.zeros(4, dtype=int))
+        assert loss == pytest.approx(np.log(10.0))
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.full((2, 3), -50.0)
+        logits[0, 1] = 50.0
+        logits[1, 2] = 50.0
+        loss, _ = CrossEntropyLoss()(logits, np.array([1, 2]))
+        assert loss < 1e-8
+
+    def test_gradient_matches_numerical(self, rng):
+        logits = rng.normal(size=(3, 5))
+        labels = np.array([0, 3, 2])
+        loss_fn = CrossEntropyLoss()
+
+        def objective():
+            value, _ = loss_fn(logits, labels)
+            return value
+
+        _, grad = loss_fn(logits, labels)
+        expected = numerical_gradient(objective, logits)
+        np.testing.assert_allclose(grad, expected, atol=1e-7)
+
+    def test_gradient_rows_sum_to_zero(self, rng):
+        logits = rng.normal(size=(4, 6))
+        _, grad = CrossEntropyLoss()(logits, np.array([1, 2, 3, 4]))
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_label_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss()(rng.normal(size=(3, 4)), np.zeros(2, dtype=int))
+
+    def test_logits_must_be_2d(self, rng):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss()(rng.normal(size=(3,)), np.zeros(3, dtype=int))
+
+
+class TestMSE:
+    def test_zero_for_equal(self, rng):
+        targets = rng.normal(size=(3, 2))
+        loss, grad = MSELoss()(targets, targets)
+        assert loss == 0.0
+        np.testing.assert_array_equal(grad, np.zeros_like(targets))
+
+    def test_gradient_matches_numerical(self, rng):
+        predictions = rng.normal(size=(4, 3))
+        targets = rng.normal(size=(4, 3))
+        loss_fn = MSELoss()
+
+        def objective():
+            value, _ = loss_fn(predictions, targets)
+            return value
+
+        _, grad = loss_fn(predictions, targets)
+        expected = numerical_gradient(objective, predictions)
+        np.testing.assert_allclose(grad, expected, atol=1e-7)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MSELoss()(np.zeros((2, 2)), np.zeros((2, 3)))
+
+
+class TestNLL:
+    def test_matches_cross_entropy(self, rng):
+        logits = rng.normal(size=(5, 4))
+        labels = np.array([0, 1, 2, 3, 0])
+        ce_loss, _ = CrossEntropyLoss()(logits, labels)
+        nll_loss, _ = NLLLoss()(log_softmax(logits), labels)
+        assert ce_loss == pytest.approx(nll_loss)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        logits = np.array([[0.1, 0.9], [0.8, 0.2]])
+        assert accuracy(logits, np.array([1, 0])) == 1.0
+
+    def test_half(self):
+        logits = np.array([[0.1, 0.9], [0.8, 0.2]])
+        assert accuracy(logits, np.array([1, 1])) == 0.5

@@ -1,0 +1,100 @@
+"""Tests for SGD and LR schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, CosineAnnealingLR, MultiStepLR, StepLR
+
+
+def make_param(value=1.0, grad=0.5):
+    param = Parameter(np.array([value]))
+    param.grad = np.array([grad])
+    return param
+
+
+class TestSGD:
+    def test_vanilla_step(self):
+        param = make_param(1.0, 0.5)
+        SGD([param], lr=0.1).step()
+        assert param.data[0] == pytest.approx(0.95)
+
+    def test_skips_none_grad(self):
+        param = Parameter(np.array([1.0]))
+        SGD([param], lr=0.1).step()
+        assert param.data[0] == 1.0
+
+    def test_weight_decay(self):
+        param = make_param(1.0, 0.0)
+        SGD([param], lr=0.1, weight_decay=0.5).step()
+        assert param.data[0] == pytest.approx(1.0 - 0.1 * 0.5)
+
+    def test_momentum_accumulates(self):
+        param = make_param(0.0, 1.0)
+        optimizer = SGD([param], lr=1.0, momentum=0.9)
+        optimizer.step()  # v = 1 -> x = -1
+        param.grad = np.array([1.0])
+        optimizer.step()  # v = 1.9 -> x = -2.9
+        assert param.data[0] == pytest.approx(-2.9)
+
+    def test_nesterov_differs_from_heavy_ball(self):
+        heavy = make_param(0.0, 1.0)
+        nesterov = make_param(0.0, 1.0)
+        SGD([heavy], lr=1.0, momentum=0.9).step()
+        SGD([nesterov], lr=1.0, momentum=0.9, nesterov=True).step()
+        assert nesterov.data[0] != heavy.data[0]
+
+    def test_zero_grad(self):
+        param = make_param()
+        optimizer = SGD([param], lr=0.1)
+        optimizer.zero_grad()
+        np.testing.assert_array_equal(param.grad, np.zeros(1))
+
+    def test_quadratic_convergence(self):
+        """SGD minimizes f(x) = x² to near zero."""
+        param = Parameter(np.array([5.0]))
+        optimizer = SGD([param], lr=0.1)
+        for _ in range(100):
+            param.grad = 2.0 * param.data
+            optimizer.step()
+        assert abs(param.data[0]) < 1e-4
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"lr": 0.0},
+            {"lr": 0.1, "momentum": 1.0},
+            {"lr": 0.1, "weight_decay": -1.0},
+            {"lr": 0.1, "nesterov": True},
+        ],
+    )
+    def test_invalid_args(self, kwargs):
+        with pytest.raises(ValueError):
+            SGD([make_param()], **kwargs)
+
+
+class TestSchedulers:
+    def test_step_lr(self):
+        optimizer = SGD([make_param()], lr=1.0)
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.1)
+        lrs = [scheduler.step() for _ in range(4)]
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+    def test_multistep_lr(self):
+        optimizer = SGD([make_param()], lr=1.0)
+        scheduler = MultiStepLR(optimizer, milestones=[2, 4], gamma=0.5)
+        lrs = [scheduler.step() for _ in range(5)]
+        assert lrs == pytest.approx([1.0, 0.5, 0.5, 0.25, 0.25])
+
+    def test_cosine_endpoints(self):
+        optimizer = SGD([make_param()], lr=1.0)
+        scheduler = CosineAnnealingLR(optimizer, t_max=10, eta_min=0.0)
+        values = [scheduler.step() for _ in range(10)]
+        assert values[-1] == pytest.approx(0.0, abs=1e-12)
+        assert values[0] < 1.0
+        assert all(b <= a + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_scheduler_mutates_optimizer(self):
+        optimizer = SGD([make_param()], lr=1.0)
+        StepLR(optimizer, step_size=1, gamma=0.5).step()
+        assert optimizer.lr == pytest.approx(0.5)

@@ -1,0 +1,157 @@
+"""Additional hypothesis property tests over the newer subsystems:
+augmentations, churn, faults, timing, crossover analysis, multipeer."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.crossover import accuracy_at_cost
+from repro.core.multipeer import (
+    gossip_from_neighbor_sets,
+    neighbor_sets_from_matchings,
+    union_of_matchings,
+)
+from repro.data.augment import Cutout, GaussianNoise, RandomCrop, RandomHorizontalFlip
+from repro.network.faults import PacketLossModel
+from repro.sim.dynamics import MarkovChurn
+from repro.sim.engine import ExperimentConfig, ExperimentResult, RoundRecord
+from repro.sim.timing import HeterogeneousCompute
+from repro.theory.spectral import is_doubly_stochastic
+
+
+class TestAugmentationProperties:
+    @given(
+        batch=st.integers(1, 6),
+        channels=st.integers(1, 3),
+        size=st.integers(2, 10),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_flip_preserves_pixel_multiset(self, batch, channels, size, seed):
+        rng = np.random.default_rng(seed)
+        images = rng.normal(size=(batch, channels, size, size))
+        flipped = RandomHorizontalFlip(0.7, rng=seed)(images)
+        np.testing.assert_allclose(
+            np.sort(images.ravel()), np.sort(flipped.ravel())
+        )
+
+    @given(
+        padding=st.integers(0, 3),
+        size=st.integers(4, 10),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_crop_shape_invariant(self, padding, size, seed):
+        rng = np.random.default_rng(seed)
+        images = rng.normal(size=(3, 2, size, size))
+        out = RandomCrop(padding, rng=seed)(images)
+        assert out.shape == images.shape
+
+    @given(std=st.floats(0.0, 1.0), seed=st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_noise_bounded_deviation(self, std, seed):
+        rng = np.random.default_rng(seed)
+        images = rng.normal(size=(2, 1, 5, 5))
+        out = GaussianNoise(std, rng=seed)(images)
+        assert np.abs(out - images).max() <= 6 * std + 1e-12
+
+    @given(size=st.integers(1, 6), seed=st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_cutout_only_zeroes(self, size, seed):
+        images = np.ones((3, 2, 8, 8))
+        out = Cutout(size, rng=seed)(images)
+        assert set(np.unique(out)).issubset({0.0, 1.0})
+
+
+class TestChurnProperties:
+    @given(
+        drop=st.floats(0.0, 0.9),
+        ret=st.floats(0.1, 1.0),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_min_active_always_respected(self, drop, ret, seed):
+        churn = MarkovChurn(
+            6, drop_probability=drop, return_probability=ret,
+            min_active=3, rng=seed,
+        )
+        for t in range(0, 40, 7):
+            assert churn.active_at(t).sum() >= 3
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_trajectory_is_stable_under_requery(self, seed):
+        churn = MarkovChurn(5, drop_probability=0.3, rng=seed)
+        first = [churn.active_at(t).copy() for t in range(20)]
+        second = [churn.active_at(t) for t in range(20)]
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestFaultProperties:
+    @given(rate=st.floats(0.0, 1.0), seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_observed_rate_within_binomial_bounds(self, rate, seed):
+        model = PacketLossModel(rate, rng=seed)
+        trials = 800
+        for t in range(trials):
+            model.exchange_fails(t, 0, 1)
+        tolerance = 5 * np.sqrt(rate * (1 - rate) / trials) + 1e-9
+        assert abs(model.observed_loss_rate - rate) <= tolerance
+
+
+class TestTimingProperties:
+    @given(
+        spread=st.floats(1.0, 20.0),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_round_time_at_least_any_participant(self, spread, seed):
+        model = HeterogeneousCompute(6, spread=spread, jitter=0.05, rng=seed)
+        participants = [0, 2, 4]
+        round_time = model.round_time(3, participants)
+        for rank in participants:
+            assert round_time >= model.step_time(3, rank) - 1e-12
+
+    @given(steps=st.integers(1, 10), seed=st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_step_time_linear_in_steps(self, steps, seed):
+        model = HeterogeneousCompute(4, jitter=0.0, rng=seed)
+        one = model.step_time(0, 1, steps=1)
+        many = model.step_time(0, 1, steps=steps)
+        assert many == one * steps
+
+
+class TestCrossoverProperties:
+    @given(
+        accuracies=st.lists(st.floats(0.0, 1.0), min_size=1, max_size=10),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_accuracy_at_cost_monotone_in_budget(self, accuracies, seed):
+        result = ExperimentResult("x", ExperimentConfig(rounds=1))
+        rng = np.random.default_rng(seed)
+        costs = np.sort(rng.uniform(0, 10, size=len(accuracies)))
+        for i, (cost, acc) in enumerate(zip(costs, accuracies)):
+            result.history.append(
+                RoundRecord(i, 1.0, 1.0, acc, float(cost), 0.0, 0.0, 0.0)
+            )
+        budgets = np.linspace(0, 11, 13)
+        values = [accuracy_at_cost(result, b) or 0.0 for b in budgets]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+
+class TestMultipeerProperties:
+    @given(
+        n=st.sampled_from([4, 6, 8, 10, 12]),
+        degree=st.integers(1, 3),
+        seed=st.integers(0, 500),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_union_gossip_always_doubly_stochastic(self, n, degree, seed):
+        matchings = union_of_matchings(n, degree, rng=seed)
+        neighbors = neighbor_sets_from_matchings(matchings, n)
+        gossip = gossip_from_neighbor_sets(neighbors, n)
+        assert is_doubly_stochastic(gossip)
+        # Every worker has exactly `degree` neighbours (even n).
+        assert all(len(s) == degree for s in neighbors)

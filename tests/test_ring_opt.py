@@ -1,0 +1,178 @@
+"""Tests for the bottleneck-optimal ring solvers (Section II-C's
+NP-complete problem)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.ring_opt import (
+    best_bottleneck_ring,
+    greedy_ring,
+    ring_bottleneck,
+    two_opt_ring,
+)
+from repro.network import random_uniform_bandwidth
+
+
+def brute_force_best(bandwidth):
+    """Exhaustive optimum for tiny n (fix vertex 0, try all orders)."""
+    n = bandwidth.shape[0]
+    best = -np.inf
+    for perm in itertools.permutations(range(1, n)):
+        order = [0] + list(perm)
+        best = max(best, ring_bottleneck(order, bandwidth))
+    return best
+
+
+class TestRingBottleneck:
+    def test_known_cycle(self):
+        bandwidth = np.array(
+            [[0, 5.0, 1.0], [5.0, 0, 3.0], [1.0, 3.0, 0]]
+        )
+        assert ring_bottleneck([0, 1, 2], bandwidth) == 1.0
+
+    def test_rotation_invariant(self):
+        bandwidth = random_uniform_bandwidth(6, rng=0)
+        order = list(range(6))
+        rotated = order[2:] + order[:2]
+        assert ring_bottleneck(order, bandwidth) == ring_bottleneck(
+            rotated, bandwidth
+        )
+
+    def test_validation(self):
+        bandwidth = random_uniform_bandwidth(4, rng=0)
+        with pytest.raises(ValueError):
+            ring_bottleneck([0, 1], bandwidth)
+        with pytest.raises(ValueError):
+            ring_bottleneck([0, 1, 1, 2], bandwidth)
+
+
+class TestExactSolver:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_brute_force_small(self, seed):
+        bandwidth = random_uniform_bandwidth(6, rng=seed)
+        order, bottleneck = best_bottleneck_ring(bandwidth)
+        assert bottleneck == pytest.approx(brute_force_best(bandwidth))
+        assert ring_bottleneck(order, bandwidth) == pytest.approx(bottleneck)
+
+    def test_returns_valid_permutation(self):
+        bandwidth = random_uniform_bandwidth(8, rng=3)
+        order, _ = best_bottleneck_ring(bandwidth)
+        assert sorted(order) == list(range(8))
+
+    def test_size_guard(self):
+        bandwidth = random_uniform_bandwidth(20, rng=0)
+        with pytest.raises(ValueError, match="NP-complete"):
+            best_bottleneck_ring(bandwidth, max_nodes=16)
+
+    def test_no_cycle_raises(self):
+        # A star graph has no Hamiltonian cycle.
+        bandwidth = np.zeros((4, 4))
+        for leaf in range(1, 4):
+            bandwidth[0, leaf] = bandwidth[leaf, 0] = 1.0
+        with pytest.raises(ValueError, match="Hamiltonian"):
+            best_bottleneck_ring(bandwidth)
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            best_bottleneck_ring(np.zeros((2, 2)))
+
+
+class TestHeuristics:
+    def test_greedy_is_permutation(self):
+        bandwidth = random_uniform_bandwidth(10, rng=1)
+        order = greedy_ring(bandwidth)
+        assert sorted(order) == list(range(10))
+
+    def test_greedy_start_respected(self):
+        bandwidth = random_uniform_bandwidth(6, rng=1)
+        assert greedy_ring(bandwidth, start=3)[0] == 3
+
+    def test_two_opt_never_worse_than_start(self):
+        bandwidth = random_uniform_bandwidth(12, rng=2)
+        initial = list(range(12))
+        improved = two_opt_ring(bandwidth, initial=initial)
+        assert ring_bottleneck(improved, bandwidth) >= ring_bottleneck(
+            initial, bandwidth
+        )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_two_opt_close_to_optimal_small(self, seed):
+        bandwidth = random_uniform_bandwidth(7, rng=seed)
+        _, optimal = best_bottleneck_ring(bandwidth)
+        heuristic = ring_bottleneck(two_opt_ring(bandwidth, rng=seed), bandwidth)
+        assert heuristic >= 0.5 * optimal
+
+    def test_two_opt_beats_identity_order_usually(self):
+        wins = 0
+        for seed in range(5):
+            bandwidth = random_uniform_bandwidth(10, rng=seed)
+            identity = ring_bottleneck(list(range(10)), bandwidth)
+            optimized = ring_bottleneck(two_opt_ring(bandwidth, rng=seed), bandwidth)
+            wins += int(optimized >= identity)
+        assert wins >= 4
+
+    def test_two_opt_validation(self):
+        bandwidth = random_uniform_bandwidth(5, rng=0)
+        with pytest.raises(ValueError):
+            two_opt_ring(bandwidth, initial=[0, 1, 2])
+
+
+class TestBottleneckMatching:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matching_optimum_dominates_ring_optimum(self, seed):
+        """The paper's structural argument, sharpened: the bottleneck-
+        optimal perfect matching (polynomial via blossom + threshold
+        search) is always at least as good as the bottleneck-optimal
+        Hamiltonian ring (NP-complete) — a perfect matching needs only
+        n/2 edges where the ring needs n."""
+        from repro.core.ring_opt import best_bottleneck_matching
+
+        bandwidth = random_uniform_bandwidth(12, rng=seed)
+        _, ring_optimal = best_bottleneck_ring(bandwidth)
+        _, matching_optimal = best_bottleneck_matching(bandwidth)
+        assert matching_optimal >= ring_optimal
+
+    def test_matching_is_perfect_and_valid(self):
+        from repro.core.matching import is_valid_matching
+        from repro.core.ring_opt import best_bottleneck_matching
+
+        bandwidth = random_uniform_bandwidth(10, rng=3)
+        matching, bottleneck = best_bottleneck_matching(bandwidth)
+        assert is_valid_matching(matching, 10)
+        assert len(matching) == 5
+        assert bottleneck == pytest.approx(
+            min(bandwidth[a, b] for a, b in matching)
+        )
+
+    def test_matching_optimum_is_optimal(self):
+        """Cross-check against brute force over all perfect matchings."""
+        import itertools
+        from repro.core.ring_opt import best_bottleneck_matching
+
+        bandwidth = random_uniform_bandwidth(6, rng=1)
+
+        def all_perfect_matchings(vertices):
+            if not vertices:
+                yield []
+                return
+            first, rest = vertices[0], vertices[1:]
+            for index, partner in enumerate(rest):
+                for sub in all_perfect_matchings(
+                    rest[:index] + rest[index + 1 :]
+                ):
+                    yield [(first, partner)] + sub
+
+        brute = max(
+            min(bandwidth[a, b] for a, b in matching)
+            for matching in all_perfect_matchings(list(range(6)))
+        )
+        _, solved = best_bottleneck_matching(bandwidth)
+        assert solved == pytest.approx(brute)
+
+    def test_odd_count_rejected(self):
+        from repro.core.ring_opt import best_bottleneck_matching
+
+        with pytest.raises(ValueError):
+            best_bottleneck_matching(random_uniform_bandwidth(5, rng=0))

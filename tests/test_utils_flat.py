@@ -1,0 +1,54 @@
+"""Tests for repro.utils.flat."""
+
+import numpy as np
+import pytest
+
+from repro.utils.flat import flatten_arrays, param_specs, unflatten_vector
+
+
+class TestParamSpecs:
+    def test_offsets_and_sizes(self):
+        arrays = [np.zeros((2, 3)), np.zeros(4), np.zeros(())]
+        specs = param_specs(arrays)
+        assert [s.offset for s in specs] == [0, 6, 10]
+        assert [s.size for s in specs] == [6, 4, 1]
+        assert specs[0].end == 6
+
+    def test_empty(self):
+        assert param_specs([]) == []
+
+
+class TestRoundTrip:
+    def test_flatten_unflatten_identity(self):
+        rng = np.random.default_rng(0)
+        arrays = [rng.normal(size=(3, 4)), rng.normal(size=7), rng.normal(size=(2, 2, 2))]
+        flat = flatten_arrays(arrays)
+        restored = unflatten_vector(flat, param_specs(arrays))
+        for original, back in zip(arrays, restored):
+            np.testing.assert_array_equal(original, back)
+
+    def test_flatten_copies(self):
+        array = np.ones(3)
+        flat = flatten_arrays([array])
+        flat[0] = 99.0
+        assert array[0] == 1.0
+
+    def test_unflatten_copies(self):
+        arrays = [np.zeros(3)]
+        flat = flatten_arrays(arrays)
+        restored = unflatten_vector(flat, param_specs(arrays))
+        restored[0][0] = 5.0
+        assert flat[0] == 0.0
+
+    def test_empty_vector(self):
+        assert flatten_arrays([]).size == 0
+        assert unflatten_vector(np.zeros(0), []) == []
+
+    def test_size_mismatch_raises(self):
+        specs = param_specs([np.zeros(3)])
+        with pytest.raises(ValueError):
+            unflatten_vector(np.zeros(4), specs)
+
+    def test_dtype_is_float64(self):
+        flat = flatten_arrays([np.ones(3, dtype=np.float32)])
+        assert flat.dtype == np.float64

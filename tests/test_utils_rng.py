@@ -1,0 +1,65 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, derive_seed, spawn_generators
+
+
+class TestAsGenerator:
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(as_generator(1).random(5), as_generator(2).random(5))
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert as_generator(generator) is generator
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_streams_are_independent(self):
+        streams = spawn_generators(0, 3)
+        draws = [stream.random(10) for stream in streams]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_deterministic_from_seed(self):
+        first = [g.random(4) for g in spawn_generators(9, 3)]
+        second = [g.random(4) for g in spawn_generators(9, 3)]
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "mask", 5) == derive_seed(1, "mask", 5)
+
+    def test_component_sensitivity(self):
+        assert derive_seed(1, "mask", 5) != derive_seed(1, "mask", 6)
+        assert derive_seed(1, "mask", 5) != derive_seed(1, "other", 5)
+        assert derive_seed(1, "mask", 5) != derive_seed(2, "mask", 5)
+
+    def test_range(self):
+        seed = derive_seed(123, "x", 0)
+        assert 0 <= seed < 2**63
+
+    def test_no_component_collision_from_concatenation(self):
+        # ("ab", "c") must differ from ("a", "bc").
+        assert derive_seed(0, "ab", "c") != derive_seed(0, "a", "bc")
