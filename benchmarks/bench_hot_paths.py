@@ -1,0 +1,213 @@
+"""Hot-path micro-benchmarks: flat-vector round-trip and full rounds.
+
+Times the memory-bound inner loops the :class:`repro.nn.ParameterArena`
+vectorizes, against the per-model fallback path (which is the pre-arena
+code path, preserved verbatim behind ``use_arena=False``):
+
+* ``flat_roundtrip`` — ``get_flat_params`` + ``set_flat_params`` once
+  per worker (the per-exchange cost SAPS used to pay per matched pair);
+* ``saps_round`` — one full SAPS-PSGD communication round (local SGD +
+  masked pairwise exchange) at n workers;
+* ``psgd_round`` — one full all-reduce PSGD round at n workers.
+
+Results (seconds per op, and arena-vs-fallback speedups) are written to
+``BENCH_hot_paths.json`` at the repo root so the perf trajectory is
+tracked across PRs.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.bench_hot_paths [--quick]
+
+``--quick`` restricts to n ∈ {8, 32} and fewer repeats (finishes well
+under 60 s); the full run adds n = 128.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.algorithms.psgd import PSGD
+from repro.algorithms.saps_psgd import SAPSPSGD
+from repro.data import make_blobs, partition_iid
+from repro.network.transport import SimulatedNetwork
+from repro.nn import MLP
+from repro.sim import ExperimentConfig, make_workers
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_hot_paths.json"
+
+#: Workload shape: a ~7.2k-parameter MLP.  Empirically the sweet spot
+#: for isolating what the arena removes: large enough that flat
+#: round-trips are real memory traffic, small enough that the (shared,
+#: path-independent) local-SGD compute does not drown the exchange hot
+#: path under test.
+NUM_FEATURES = 64
+HIDDEN = [96]
+NUM_CLASSES = 10
+
+
+def _model_factory(seed: int = 0):
+    return lambda: MLP(NUM_FEATURES, HIDDEN, NUM_CLASSES, rng=seed)
+
+
+def _workload(num_workers: int, seed: int = 0):
+    samples = 24 * num_workers
+    full = make_blobs(
+        num_samples=samples,
+        num_classes=NUM_CLASSES,
+        num_features=NUM_FEATURES,
+        rng=seed,
+    )
+    return partition_iid(full, num_workers, rng=seed)
+
+
+def _time(fn, repeats: int) -> float:
+    """Best-of-runs wall time of ``fn()`` (median is noisy in CI)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_flat_roundtrip(num_workers: int, repeats: int) -> dict:
+    """get+set flat params across all workers, arena vs fallback."""
+    partitions = _workload(num_workers)
+    results = {}
+    for label, use_arena in (("fallback", False), ("arena", True)):
+        config = ExperimentConfig(
+            rounds=1, batch_size=4, lr=0.1, use_arena=use_arena
+        )
+        workers = make_workers(_model_factory(), partitions, config)
+
+        def roundtrip():
+            for worker in workers:
+                worker.set_params(worker.get_params())
+
+        roundtrip()  # warm-up
+        results[label] = _time(roundtrip, repeats)
+    results["speedup"] = results["fallback"] / results["arena"]
+    return results
+
+
+def _bench_rounds(algorithm_factory, num_workers: int, rounds: int,
+                  repeats: int) -> dict:
+    """Mean seconds per communication round, arena vs fallback.
+
+    Mean (not best-of): the fallback's per-round allocations make its
+    cost jittery, and that jitter *is* part of what the arena removes —
+    best-of would systematically undersell it.
+    """
+    partitions = _workload(num_workers)
+    results = {}
+    for label, use_arena in (("fallback", False), ("arena", True)):
+        # Small batches keep the (path-independent) local-SGD compute from
+        # drowning the communication/mixing hot path under test.
+        config = ExperimentConfig(
+            rounds=rounds, batch_size=2, lr=0.05, seed=7, use_arena=use_arena
+        )
+        workers = make_workers(_model_factory(), partitions, config)
+        algorithm = algorithm_factory()
+        network = SimulatedNetwork(num_workers=num_workers)
+        algorithm.setup(workers, network, rng=7)
+        algorithm.run_round(0)  # warm-up
+
+        total_rounds = repeats * rounds
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            for round_index in range(1, total_rounds + 1):
+                algorithm.run_round(round_index)
+            results[label] = (time.perf_counter() - start) / total_rounds
+        finally:
+            gc.enable()
+    results["speedup"] = results["fallback"] / results["arena"]
+    return results
+
+
+def bench_saps_round(num_workers: int, rounds: int, repeats: int) -> dict:
+    # Fixed-ring pairing isolates the exchange hot path from the (shared,
+    # identical-cost) blossom matching of the adaptive selector.
+    return _bench_rounds(
+        lambda: SAPSPSGD(compression_ratio=20.0, selector="ring", base_seed=7),
+        num_workers, rounds, repeats,
+    )
+
+
+def bench_psgd_round(num_workers: int, rounds: int, repeats: int) -> dict:
+    return _bench_rounds(lambda: PSGD(), num_workers, rounds, repeats)
+
+
+def run_suite(quick: bool, repeats: int) -> dict:
+    worker_counts = [8, 32] if quick else [8, 32, 128]
+    rounds = 20 if quick else 30
+    model_size = _model_factory()().num_parameters()
+    report = {
+        "model_size": model_size,
+        "quick": quick,
+        "worker_counts": worker_counts,
+        "flat_roundtrip": {},
+        "saps_round": {},
+        "psgd_round": {},
+    }
+    for n in worker_counts:
+        print(f"n={n:4d}  flat round-trip ...", flush=True)
+        report["flat_roundtrip"][str(n)] = bench_flat_roundtrip(n, repeats)
+        print(f"n={n:4d}  SAPS-PSGD round ...", flush=True)
+        report["saps_round"][str(n)] = bench_saps_round(n, rounds, repeats)
+        print(f"n={n:4d}  PSGD round ...", flush=True)
+        report["psgd_round"][str(n)] = bench_psgd_round(n, rounds, repeats)
+    return report
+
+
+def render(report: dict) -> str:
+    lines = [
+        f"hot paths (model_size={report['model_size']}, "
+        f"quick={report['quick']})",
+        f"{'bench':>16} {'n':>5} {'fallback_s':>12} {'arena_s':>12} "
+        f"{'speedup':>8}",
+    ]
+    for bench in ("flat_roundtrip", "saps_round", "psgd_round"):
+        for n, row in report[bench].items():
+            lines.append(
+                f"{bench:>16} {n:>5} {row['fallback']:>12.3e} "
+                f"{row['arena']:>12.3e} {row['speedup']:>7.1f}x"
+            )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="n in {8, 32} and fewer repeats; finishes well under 60 s",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="timing repeats per section (default 5)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT,
+        help=f"JSON report path (default {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+    repeats = args.repeats if args.repeats else 5
+    started = time.perf_counter()
+    report = run_suite(args.quick, repeats)
+    report["bench_wall_seconds"] = round(time.perf_counter() - started, 2)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(render(report))
+    print(f"\nwrote {args.output} in {report['bench_wall_seconds']:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Quick performance pass for CI / local loops.
+#
+#   benchmarks/run_all.sh           # hot-path micro-benchmarks, < 60 s
+#   benchmarks/run_all.sh --full    # adds n=128 and more repeats
+#
+# Extra arguments are forwarded to benchmarks.bench_hot_paths.
+# The paper-figure benchmark suite (bench_fig*.py, bench_table*.py) runs
+# separately via `pytest benchmarks/` and is not part of the quick pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="--quick"
+if [ "${1:-}" = "--full" ]; then
+    MODE=""
+    shift
+fi
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python -m benchmarks.bench_hot_paths $MODE "$@"

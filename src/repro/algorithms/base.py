@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence
 import numpy as np
 
 from repro.network.transport import SimulatedNetwork
+from repro.nn.arena import ParameterArena, shared_arena
 from repro.utils.rng import SeedLike, as_generator
 
 if TYPE_CHECKING:  # avoid a runtime cycle with repro.sim
@@ -33,6 +34,10 @@ class DistributedAlgorithm:
         #: Workers that computed in the last round (None = all).  The
         #: engine's compute-time model reads this to bill stragglers.
         self.last_participants: Optional[List[int]] = None
+        #: The shared :class:`ParameterArena` when every worker's model
+        #: is a row of one arena (rank order); ``None`` selects the
+        #: per-model fallback paths.  Set by :meth:`setup`.
+        self.arena: Optional[ParameterArena] = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -65,9 +70,15 @@ class DistributedAlgorithm:
                 f"all workers must share one architecture; got model "
                 f"sizes {sorted(sizes)}"
             )
-        initial = self.workers[0].get_params()
-        for worker in self.workers[1:]:
-            worker.set_params(initial)
+        self.arena = shared_arena([worker.model for worker in self.workers])
+        if self.arena is not None:
+            # One broadcast over the replica matrix replaces n-1
+            # concat/split round-trips.
+            self.arena.broadcast_row(0)
+        else:
+            initial = self.workers[0].get_params()
+            for worker in self.workers[1:]:
+                worker.set_params(initial)
         self._after_setup()
 
     def _after_setup(self) -> None:
@@ -91,13 +102,32 @@ class DistributedAlgorithm:
     def model_size(self) -> int:
         return self.workers[0].model_size
 
+    def _apply_average_gradient(self, average: np.ndarray) -> None:
+        """``xᵢ ← xᵢ − lrᵢ·ḡ`` on every worker (the all-reduce update).
+
+        Arena path: one broadcasted row operation over the replica
+        matrix; fallback: per-worker flat round-trips.  Bit-identical.
+        """
+        if self.arena is not None:
+            rates = np.array([w.optimizer.lr for w in self.workers])
+            self.arena.data -= rates[:, None] * average
+            for worker in self.workers:
+                worker.steps_taken += 1
+        else:
+            for worker in self.workers:
+                worker.apply_gradient(average)
+
     def consensus_model(self) -> np.ndarray:
         """The average model ``X̄ = X·1/n`` — what gets evaluated."""
+        if self.arena is not None:
+            return self.arena.mean_model()
         stacked = np.stack([w.get_params() for w in self.workers])
         return stacked.mean(axis=0)
 
     def consensus_distance(self) -> float:
         """``(1/n)Σᵢ‖xᵢ − x̄‖²`` — the quantity Theorem 1 bounds."""
+        if self.arena is not None:
+            return self.arena.consensus_distance()
         stacked = np.stack([w.get_params() for w in self.workers])
         mean = stacked.mean(axis=0)
         return float(np.mean(np.sum((stacked - mean) ** 2, axis=1)))

@@ -41,20 +41,58 @@ class DPSGD(DistributedAlgorithm):
 
     def run_round(self, round_index: int) -> float:
         losses = []
-        gradients = []
-        params = [worker.get_params() for worker in self.workers]
-        for worker in self.workers:
-            loss, gradient = worker.compute_gradient()
-            losses.append(loss)
-            gradients.append(gradient)
+        if self.arena is not None:
+            for worker in self.workers:
+                loss, _ = worker.compute_gradient()
+                losses.append(loss)
+            self._account_ring_traffic(round_index)
 
+            # Vectorized ring mixing over the replica matrix.  The
+            # accumulation order (self, left neighbour, right neighbour)
+            # matches the per-worker loop, so results are bit-identical.
+            replicas = self.arena.data
+            n = self.num_workers
+            ranks = np.arange(n)
+            prev_ranks = (ranks - 1) % n
+            next_ranks = (ranks + 1) % n
+            self_w = np.diag(self.gossip)[:, None]
+            prev_w = self.gossip[ranks, prev_ranks][:, None]
+            next_w = self.gossip[ranks, next_ranks][:, None]
+            mixed = self_w * replicas
+            mixed = mixed + prev_w * replicas[prev_ranks]
+            mixed = mixed + next_w * replicas[next_ranks]
+            rates = np.array([w.optimizer.lr for w in self.workers])
+            replicas[...] = mixed - rates[:, None] * self.arena.grads
+            for worker in self.workers:
+                worker.steps_taken += 1
+        else:
+            gradients = []
+            # Snapshots: a worker adopted into an arena the setup did not
+            # detect (subset/reordered workers) would otherwise hand out
+            # live row views that later set_params calls mutate mid-loop.
+            params = [worker.snapshot_params() for worker in self.workers]
+            for worker in self.workers:
+                loss, gradient = worker.compute_gradient()
+                losses.append(loss)
+                gradients.append(gradient)
+            self._account_ring_traffic(round_index)
+
+            for rank, worker in enumerate(self.workers):
+                neighbors = self._ring_neighbors(rank)
+                mixed = self.gossip[rank, rank] * params[rank]
+                for neighbor in neighbors:
+                    mixed = mixed + self.gossip[rank, neighbor] * params[neighbor]
+                lr = worker.optimizer.lr
+                worker.set_params(mixed - lr * gradients[rank])
+                worker.steps_taken += 1
+        self.network.finish_round()
+        return float(np.mean(losses))
+
+    def _account_ring_traffic(self, round_index: int) -> None:
+        """Meter both neighbours' full models arriving at each worker."""
         model_bytes = self.model_size * BYTES_PER_VALUE
-        for rank, worker in enumerate(self.workers):
-            neighbors = self._ring_neighbors(rank)
-            mixed = self.gossip[rank, rank] * params[rank]
-            for neighbor in neighbors:
-                mixed = mixed + self.gossip[rank, neighbor] * params[neighbor]
-                # The neighbour's model arriving at `rank`.
+        for rank in range(self.num_workers):
+            for neighbor in self._ring_neighbors(rank):
                 self.network.meter.record(
                     round_index, neighbor, rank, model_bytes
                 )
@@ -62,11 +100,6 @@ class DPSGD(DistributedAlgorithm):
                     self.network.timer.add_transfer(
                         model_bytes, self._ring_link_bandwidth(neighbor, rank)
                     )
-            lr = worker.optimizer.lr
-            worker.set_params(mixed - lr * gradients[rank])
-            worker.steps_taken += 1
-        self.network.finish_round()
-        return float(np.mean(losses))
 
 
 class DCDPSGD(DPSGD):

@@ -44,7 +44,9 @@ class FedAvg(DistributedAlgorithm):
         self.global_model: Optional[np.ndarray] = None
 
     def _after_setup(self) -> None:
-        self.global_model = self.workers[0].get_params()
+        # Snapshot: the server's model must not follow worker 0's local
+        # steps (get_params may be a live arena-row view).
+        self.global_model = self.workers[0].snapshot_params()
         if self._server_bandwidth is None and self.network.bandwidth is not None:
             # The paper's Fig. 6 setup: the server gets the best link.
             self._server_bandwidth = float(self.network.bandwidth.max())
@@ -73,15 +75,18 @@ class FedAvg(DistributedAlgorithm):
     def run_round(self, round_index: int) -> float:
         selected = self._select()
         self.last_participants = selected
-        uploads = []
         losses = []
         for rank in selected:
             worker = self.workers[rank]
             worker.set_params(self.global_model)
             for _ in range(self.local_steps):
                 losses.append(worker.local_step())
-            uploads.append(worker.get_params())
-        self.global_model = np.mean(uploads, axis=0)
+        if self.arena is not None:
+            # Server-side average straight off the replica matrix rows.
+            self.global_model = self.arena.data[selected].mean(axis=0)
+        else:
+            uploads = [self.workers[rank].get_params() for rank in selected]
+            self.global_model = np.mean(uploads, axis=0)
         self._account(
             round_index, selected, self.model_size * BYTES_PER_VALUE
         )

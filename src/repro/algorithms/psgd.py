@@ -26,14 +26,22 @@ class PSGD(DistributedAlgorithm):
 
     def run_round(self, round_index: int) -> float:
         losses = []
-        gradients = []
-        for worker in self.workers:
-            loss, gradient = worker.compute_gradient()
-            losses.append(loss)
-            gradients.append(gradient)
-        average = np.mean(gradients, axis=0)
-        for worker in self.workers:
-            worker.apply_gradient(average)
+        if self.arena is not None:
+            # Gradients land in the arena's grad matrix as workers
+            # backprop; the all-reduce is one column-mean and the update
+            # one broadcasted row operation — no per-worker concat/split.
+            for worker in self.workers:
+                loss, _ = worker.compute_gradient()
+                losses.append(loss)
+            average = self.arena.grads.mean(axis=0)
+        else:
+            gradients = []
+            for worker in self.workers:
+                loss, gradient = worker.compute_gradient()
+                losses.append(loss)
+                gradients.append(gradient)
+            average = np.mean(gradients, axis=0)
+        self._apply_average_gradient(average)
 
         # Ring all-reduce accounting: each worker exchanges ~2N values per
         # round regardless of n (sends N to its successor, receives N from
@@ -78,8 +86,7 @@ class TopKPSGD(DistributedAlgorithm):
             payload_bytes.append(payload.num_bytes())
 
         average = np.mean(dense_contributions, axis=0)
-        for worker in self.workers:
-            worker.apply_gradient(average)
+        self._apply_average_gradient(average)
 
         # Allgather: every worker ships its sparse gradient to the other
         # n-1 workers (and receives n-1 sparse gradients).

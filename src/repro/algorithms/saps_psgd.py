@@ -165,7 +165,9 @@ class SAPSPSGD(DistributedAlgorithm):
         )
         indices = np.flatnonzero(mask)
 
-        # Pairwise sparse exchange and Eq. (7) merge.
+        # Loss-model filtering first (same RNG consumption order as the
+        # historical per-pair loop): surviving pairs actually exchange.
+        pairs = []
         for a, b in plan.matching:
             if self.loss_model is not None and self.loss_model.exchange_fails(
                 round_index, a, b
@@ -174,20 +176,53 @@ class SAPSPSGD(DistributedAlgorithm):
                 # models (equivalent to being unmatched this round).
                 self.dropped_exchanges += 1
                 continue
-            params_a = self.workers[a].get_params()
-            params_b = self.workers[b].get_params()
-            payload_a = SharedMaskPayload(
-                values=params_a[indices], indices=indices, mask_seed=plan.mask_seed
-            )
-            payload_b = SharedMaskPayload(
-                values=params_b[indices], indices=indices, mask_seed=plan.mask_seed
-            )
-            self.network.exchange(round_index, a, b, payload_a, payload_b)
-            averaged = 0.5 * (params_a[indices] + params_b[indices])
-            params_a[indices] = averaged
-            params_b[indices] = averaged
-            self.workers[a].set_params(params_a)
-            self.workers[b].set_params(params_b)
+            pairs.append((a, b))
+
+        if self.arena is not None:
+            # Vectorized Eq. (7): gather the masked block of every left
+            # and right partner in two fancy-indexed reads, average once,
+            # scatter back.  Bit-identical to the per-pair merge.
+            if pairs:
+                pair_array = np.asarray(pairs, dtype=np.int64)
+                left, right = pair_array[:, 0], pair_array[:, 1]
+                replicas = self.arena.data
+                values_left = replicas[np.ix_(left, indices)]
+                values_right = replicas[np.ix_(right, indices)]
+                for row, (a, b) in enumerate(pairs):
+                    payload_a = SharedMaskPayload(
+                        values=values_left[row],
+                        indices=indices,
+                        mask_seed=plan.mask_seed,
+                    )
+                    payload_b = SharedMaskPayload(
+                        values=values_right[row],
+                        indices=indices,
+                        mask_seed=plan.mask_seed,
+                    )
+                    self.network.exchange(
+                        round_index, a, b, payload_a, payload_b
+                    )
+                averaged = 0.5 * (values_left + values_right)
+                replicas[np.ix_(left, indices)] = averaged
+                replicas[np.ix_(right, indices)] = averaged
+        else:
+            # Fallback: pairwise sparse exchange and Eq. (7) merge over
+            # per-model flat copies.
+            for a, b in pairs:
+                params_a = self.workers[a].get_params()
+                params_b = self.workers[b].get_params()
+                payload_a = SharedMaskPayload(
+                    values=params_a[indices], indices=indices, mask_seed=plan.mask_seed
+                )
+                payload_b = SharedMaskPayload(
+                    values=params_b[indices], indices=indices, mask_seed=plan.mask_seed
+                )
+                self.network.exchange(round_index, a, b, payload_a, payload_b)
+                averaged = 0.5 * (params_a[indices] + params_b[indices])
+                params_a[indices] = averaged
+                params_b[indices] = averaged
+                self.workers[a].set_params(params_a)
+                self.workers[b].set_params(params_b)
 
         if self.network.bandwidth is not None:
             self.round_bandwidths.append(

@@ -47,7 +47,8 @@ class TopKCompressor(Compressor):
     def compress(self, vector: np.ndarray, round_index: int = 0) -> IndexedPayload:
         vector = np.asarray(vector, dtype=np.float64)
         indices = top_k_indices(vector, self.k_for(vector.size))
-        return IndexedPayload(values=vector[indices].copy(), indices=indices)
+        # Fancy indexing already allocates a fresh array — no extra copy.
+        return IndexedPayload(values=vector[indices], indices=indices)
 
 
 class RandomKCompressor(Compressor):
@@ -72,4 +73,5 @@ class RandomKCompressor(Compressor):
         vector = np.asarray(vector, dtype=np.float64)
         k = max(1, int(np.ceil(vector.size / self._ratio))) if vector.size else 0
         indices = np.sort(self._rng.choice(vector.size, size=k, replace=False))
-        return IndexedPayload(values=vector[indices].copy(), indices=indices)
+        # Fancy indexing already allocates a fresh array — no extra copy.
+        return IndexedPayload(values=vector[indices], indices=indices)

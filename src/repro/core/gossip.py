@@ -52,13 +52,10 @@ def gossip_matrix_from_matching(matching: Matching, num_workers: int) -> np.ndar
     """
     partners = matching_to_partner_array(matching, num_workers)
     gossip = np.zeros((num_workers, num_workers))
-    for worker in range(num_workers):
-        peer = partners[worker]
-        if peer == -1:
-            gossip[worker, worker] = 1.0
-        else:
-            gossip[worker, worker] = 0.5
-            gossip[worker, peer] = 0.5
+    workers = np.arange(num_workers)
+    matched = partners >= 0
+    gossip[workers, workers] = np.where(matched, 0.5, 1.0)
+    gossip[workers[matched], partners[matched]] = 0.5
     return gossip
 
 

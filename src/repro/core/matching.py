@@ -248,7 +248,8 @@ def matching_to_partner_array(matching: Matching, num_vertices: int) -> np.ndarr
     if not is_valid_matching(matching, num_vertices):
         raise ValueError("invalid matching")
     partners = np.full(num_vertices, -1, dtype=np.int64)
-    for a, b in matching:
-        partners[a] = b
-        partners[b] = a
+    if matching:
+        pairs = np.asarray(matching, dtype=np.int64)
+        partners[pairs[:, 0]] = pairs[:, 1]
+        partners[pairs[:, 1]] = pairs[:, 0]
     return partners

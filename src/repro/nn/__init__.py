@@ -8,6 +8,7 @@ algorithms is the flat-vector API on :class:`Module`
 """
 
 from repro.nn.module import Identity, Module, Parameter, Sequential
+from repro.nn.arena import ParameterArena, shared_arena
 from repro.nn.layers import (
     AvgPool2d,
     BatchNorm2d,
@@ -44,6 +45,8 @@ from repro.nn.models import (
 __all__ = [
     "Module",
     "Parameter",
+    "ParameterArena",
+    "shared_arena",
     "Sequential",
     "Identity",
     "Linear",

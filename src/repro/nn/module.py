@@ -26,7 +26,11 @@ class Parameter:
     Attributes
     ----------
     data:
-        The parameter values (float64 ndarray).
+        The parameter values (float64 ndarray).  When the parameter is
+        *arena-backed* (see :class:`repro.nn.arena.ParameterArena`) this
+        is a reshaped view into the arena's contiguous row, and it must
+        only ever be mutated in place — rebinding would silently detach
+        the parameter from its worker's row.
     grad:
         Accumulated gradient of the same shape, or ``None`` before the
         first backward pass.
@@ -39,6 +43,9 @@ class Parameter:
         self.data = np.asarray(data, dtype=np.float64)
         self.grad: Optional[np.ndarray] = None
         self.name = name
+        #: True once :meth:`bind_views` rebound storage into an arena row.
+        self.arena_backed = False
+        self._grad_view: Optional[np.ndarray] = None
 
     @property
     def shape(self):
@@ -48,14 +55,44 @@ class Parameter:
     def size(self) -> int:
         return self.data.size
 
+    def bind_views(self, data_view: np.ndarray, grad_view: np.ndarray) -> None:
+        """Move storage into arena views, preserving current values.
+
+        ``grad`` keeps its ``None``-until-backward semantics: the grad
+        view is installed lazily by :meth:`zero_grad` /
+        :meth:`accumulate_grad` so optimizers can still skip untouched
+        parameters.
+        """
+        if data_view.shape != self.data.shape:
+            raise ValueError(
+                f"view shape {data_view.shape} != parameter shape "
+                f"{self.data.shape} for {self.name!r}"
+            )
+        data_view[...] = self.data
+        self.data = data_view
+        self._grad_view = grad_view
+        if self.grad is not None:
+            grad_view[...] = self.grad
+            self.grad = grad_view
+        self.arena_backed = True
+
     def zero_grad(self) -> None:
-        """Reset the gradient accumulator to zeros."""
-        self.grad = np.zeros_like(self.data)
+        """Reset the gradient accumulator to zeros (in place when
+        arena-backed, so views into the grad row stay alive)."""
+        if self._grad_view is not None:
+            self._grad_view.fill(0.0)
+            self.grad = self._grad_view
+        else:
+            self.grad = np.zeros_like(self.data)
 
     def accumulate_grad(self, grad: np.ndarray) -> None:
         """Add ``grad`` into the accumulator (lazily allocating it)."""
         if self.grad is None:
-            self.grad = np.zeros_like(self.data)
+            if self._grad_view is not None:
+                self._grad_view.fill(0.0)
+                self.grad = self._grad_view
+            else:
+                self.grad = np.zeros_like(self.data)
         self.grad += grad
 
     def __repr__(self) -> str:
@@ -74,6 +111,12 @@ class Module:
         self._parameters: Dict[str, Parameter] = {}
         self._modules: Dict[str, "Module"] = {}
         self.training = True
+        # Arena bindings (set by ParameterArena.adopt on the root module):
+        # contiguous flat views of all parameters / gradients.
+        self._flat_view: Optional[np.ndarray] = None
+        self._flat_grad_view: Optional[np.ndarray] = None
+        self._arena = None
+        self._arena_rank: Optional[int] = None
 
     # ------------------------------------------------------------------
     # registration and traversal
@@ -127,6 +170,13 @@ class Module:
         return self
 
     def zero_grad(self) -> None:
+        if self._flat_grad_view is not None:
+            # One fill over the contiguous grad row instead of one fill
+            # per layer.
+            self._flat_grad_view.fill(0.0)
+            for param in self.parameters():
+                param.grad = param._grad_view
+            return
         for param in self.parameters():
             param.zero_grad()
 
@@ -149,17 +199,54 @@ class Module:
         return param_specs([p.data for p in self.parameters()])
 
     def get_flat_params(self) -> np.ndarray:
-        """Model as a single vector ``x ∈ R^N`` (copy)."""
+        """Model as a single vector ``x ∈ R^N``.
+
+        Arena-backed models return the **live row view** (zero-copy):
+        mutating the result mutates the model, and vice versa.  Callers
+        that need an independent snapshot must ``.copy()``.  Plain models
+        return a fresh concatenated copy, as before.
+        """
+        if self._flat_view is not None:
+            return self._flat_view
         return flatten_arrays([p.data for p in self.parameters()])
 
     def set_flat_params(self, vector: np.ndarray) -> None:
-        """Load the model from a flat vector produced by a peer."""
+        """Load the model from a flat vector produced by a peer.
+
+        Arena-backed models copy into the row (one memcpy, layer views
+        stay bound); plain models rebind each ``Parameter.data``.
+        """
+        if self._flat_view is not None:
+            vector = np.asarray(vector, dtype=np.float64)
+            if vector.size != self._flat_view.size:
+                raise ValueError(
+                    f"vector has {vector.size} elements but model "
+                    f"has {self._flat_view.size}"
+                )
+            self._flat_view[...] = vector.reshape(-1)
+            return
         arrays = unflatten_vector(vector, self.flat_specs())
         for param, array in zip(self.parameters(), arrays):
-            param.data = array
+            if param.arena_backed:
+                # E.g. a submodule of an adopted model: the root holds the
+                # flat view, but rebinding here would detach the layer
+                # from its arena row — write through instead.
+                param.data[...] = array
+            else:
+                param.data = array
 
     def get_flat_grads(self) -> np.ndarray:
-        """Accumulated gradients as one vector (zeros where grad unset)."""
+        """Accumulated gradients as one vector (zeros where grad unset).
+
+        Arena-backed models return the live grad-row view (zero-copy);
+        segments of parameters that never saw a backward pass are zeroed
+        first so the contract matches the copying path.
+        """
+        if self._flat_grad_view is not None:
+            for param in self.parameters():
+                if param.grad is None and param._grad_view is not None:
+                    param._grad_view.fill(0.0)
+            return self._flat_grad_view
         grads = [
             p.grad if p.grad is not None else np.zeros_like(p.data)
             for p in self.parameters()
@@ -167,9 +254,24 @@ class Module:
         return flatten_arrays(grads)
 
     def set_flat_grads(self, vector: np.ndarray) -> None:
+        if self._flat_grad_view is not None:
+            vector = np.asarray(vector, dtype=np.float64)
+            if vector.size != self._flat_grad_view.size:
+                raise ValueError(
+                    f"vector has {vector.size} elements but model "
+                    f"has {self._flat_grad_view.size}"
+                )
+            self._flat_grad_view[...] = vector.reshape(-1)
+            for param in self.parameters():
+                param.grad = param._grad_view
+            return
         arrays = unflatten_vector(vector, self.flat_specs())
         for param, array in zip(self.parameters(), arrays):
-            param.grad = array
+            if param.arena_backed:
+                param._grad_view[...] = array
+                param.grad = param._grad_view
+            else:
+                param.grad = array
 
     # ------------------------------------------------------------------
     # state dict (for checkpoint round-trips in tests/examples)
@@ -192,7 +294,10 @@ class Module:
                     f"shape mismatch for {name}: "
                     f"{param.data.shape} vs {state[name].shape}"
                 )
-            param.data = np.asarray(state[name], dtype=np.float64).copy()
+            if param.arena_backed:
+                param.data[...] = np.asarray(state[name], dtype=np.float64)
+            else:
+                param.data = np.asarray(state[name], dtype=np.float64).copy()
 
 
 class Sequential(Module):

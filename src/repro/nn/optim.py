@@ -53,8 +53,50 @@ class SGD(Optimizer):
         self.weight_decay = weight_decay
         self.nesterov = nesterov
         self._velocities: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+        self._flat_params: Optional[np.ndarray] = None
+        self._flat_grads: Optional[np.ndarray] = None
+
+    def attach_flat_storage(
+        self, flat_params: np.ndarray, flat_grads: np.ndarray
+    ) -> None:
+        """Enable whole-model vectorized updates for arena-backed models.
+
+        ``flat_params``/``flat_grads`` must be the contiguous flat views
+        whose segments are exactly this optimizer's parameters, in order
+        (i.e. the model's arena row).  The vectorized step is
+        bit-identical to the per-parameter loop; momentum state stays
+        per-parameter, so momentum runs keep the loop.
+        """
+        total = sum(param.size for param in self.parameters)
+        if flat_params.size != total or flat_grads.size != total:
+            raise ValueError(
+                f"flat storage holds {flat_params.size} elements but "
+                f"parameters total {total}"
+            )
+        if not all(param.arena_backed for param in self.parameters):
+            raise ValueError("all parameters must be arena-backed")
+        self._flat_params = flat_params
+        self._flat_grads = flat_grads
+        self._flat_scratch = np.empty_like(flat_params)
 
     def step(self) -> None:
+        if (
+            self._flat_params is not None
+            and not self.momentum
+            and all(param.grad is not None for param in self.parameters)
+        ):
+            # Vectorized row update: same elementwise operations as the
+            # loop below, one numpy dispatch instead of one per layer and
+            # no per-step temporaries.
+            grad = self._flat_grads
+            if self.weight_decay:
+                grad = np.add(
+                    grad, self.weight_decay * self._flat_params,
+                    out=self._flat_scratch,
+                )
+            np.multiply(grad, self.lr, out=self._flat_scratch)
+            self._flat_params -= self._flat_scratch
+            return
         for index, param in enumerate(self.parameters):
             if param.grad is None:
                 continue
@@ -71,7 +113,13 @@ class SGD(Optimizer):
                     grad = grad + self.momentum * velocity
                 else:
                     grad = velocity
-            param.data = param.data - self.lr * grad
+            if param.arena_backed:
+                # Arena views must be updated in place (rebinding would
+                # detach the parameter from its worker's row); `x -= d`
+                # is bit-identical to `x = x - d`.
+                param.data -= self.lr * grad
+            else:
+                param.data = param.data - self.lr * grad
 
 
 class LRScheduler:

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.data.datasets import Dataset
 from repro.network.transport import SimulatedNetwork
+from repro.nn.arena import ParameterArena
 from repro.nn.module import Module
 from repro.sim.trainer import TrainingWorker
 from repro.utils.rng import SeedLike, as_generator, spawn_generators
@@ -42,6 +43,12 @@ class ExperimentConfig:
     seed: int = 0
     lr_milestones: Optional[List[int]] = None
     lr_gamma: float = 0.1
+    #: Back all worker replicas with one contiguous
+    #: :class:`repro.nn.ParameterArena` so flat-vector access is
+    #: zero-copy and rounds vectorize over the replica matrix.  Numerics
+    #: are bit-identical either way; disable only to exercise the
+    #: per-model fallback path.
+    use_arena: bool = True
 
     def __post_init__(self) -> None:
         if self.rounds <= 0:
@@ -121,6 +128,10 @@ def make_workers(
     Each worker gets an independent data-sampling RNG derived from the
     experiment seed; model initializations are later overwritten by the
     algorithm's setup (all workers start from worker 0's weights).
+
+    Unless ``config.use_arena`` is False, all replicas are adopted into
+    one :class:`repro.nn.ParameterArena` (rows in rank order) so the
+    algorithms take their vectorized fast paths.
     """
     streams = spawn_generators(config.seed, len(partitions))
     workers = []
@@ -137,6 +148,12 @@ def make_workers(
                 rng=stream,
             )
         )
+    if config.use_arena:
+        ParameterArena.adopt_models([worker.model for worker in workers])
+        for worker in workers:
+            worker.optimizer.attach_flat_storage(
+                worker.model._flat_view, worker.model._flat_grad_view
+            )
     return workers
 
 
@@ -146,7 +163,7 @@ def evaluate_consensus(
     """Evaluate the consensus (average) model without disturbing training:
     worker 0's replica is borrowed and restored."""
     probe = algorithm.workers[0]
-    saved = probe.get_params()
+    saved = probe.snapshot_params()
     probe.set_params(algorithm.consensus_model())
     loss, accuracy = probe.evaluate(dataset)
     probe.set_params(saved)

@@ -80,14 +80,29 @@ class TrainingWorker:
     def apply_gradient(self, flat_gradient: np.ndarray, lr: Optional[float] = None) -> None:
         """Apply ``x ← x − lr·g`` for an externally supplied gradient."""
         step = self.optimizer.lr if lr is None else lr
-        self.set_params(self.get_params() - step * np.asarray(flat_gradient))
+        flat = self.model._flat_view
+        if flat is not None:
+            # Arena-backed: update the row in place (no concat/split).
+            flat -= step * np.asarray(flat_gradient)
+        else:
+            self.set_params(self.get_params() - step * np.asarray(flat_gradient))
         self.steps_taken += 1
 
     # ------------------------------------------------------------------
     # flat-vector access
     # ------------------------------------------------------------------
     def get_params(self) -> np.ndarray:
+        """Flat model vector — a live arena-row view when arena-backed
+        (zero-copy), a fresh copy otherwise.  Use
+        :meth:`snapshot_params` when the result must survive updates."""
         return self.model.get_flat_params()
+
+    def snapshot_params(self) -> np.ndarray:
+        """Independent copy of the flat model, safe to hold across
+        parameter updates regardless of arena backing (and without
+        double-copying on the fallback path)."""
+        flat = self.model._flat_view
+        return flat.copy() if flat is not None else self.model.get_flat_params()
 
     def set_params(self, vector: np.ndarray) -> None:
         self.model.set_flat_params(vector)
@@ -103,7 +118,7 @@ class TrainingWorker:
         """``(mean_loss, top1_accuracy)`` of the current model on a
         dataset, in eval mode."""
         self.model.eval()
-        losses = []
+        loss_sum = 0.0
         correct = 0
         total = 0
         for start in range(0, len(dataset), batch_size):
@@ -111,8 +126,8 @@ class TrainingWorker:
             labels = dataset.labels[start : start + batch_size]
             logits = self.model.forward(features)
             loss, _ = self.loss_fn(logits, labels)
-            losses.append(loss * len(labels))
+            loss_sum += loss * len(labels)
             correct += int(np.sum(np.argmax(logits, axis=1) == labels))
             total += len(labels)
         self.model.train()
-        return float(np.sum(losses) / total), correct / total
+        return float(loss_sum / total), correct / total

@@ -9,7 +9,7 @@ between the two representations without copying more than necessary.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -38,17 +38,50 @@ def param_specs(arrays: Sequence[np.ndarray]) -> List[ParamSpec]:
     return specs
 
 
-def flatten_arrays(arrays: Sequence[np.ndarray], dtype=np.float64) -> np.ndarray:
-    """Concatenate arrays into one flat vector (always a fresh copy)."""
-    if not arrays:
-        return np.zeros(0, dtype=dtype)
-    return np.concatenate([np.asarray(a, dtype=dtype).ravel() for a in arrays])
+def flatten_arrays(
+    arrays: Sequence[np.ndarray],
+    dtype=np.float64,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Pack arrays into one flat vector.
+
+    Copy semantics: the result is always freshly written (callers may
+    mutate it freely), but each input is copied exactly **once** — an
+    already-contiguous float64 input is written straight into the output
+    with no intermediate cast/copy; other dtypes and non-contiguous
+    layouts are cast during that single write where possible.
+
+    ``out`` optionally supplies a preallocated destination of the right
+    total size and dtype (hot loops reuse one buffer instead of
+    allocating per call).
+    """
+    arrays = [np.asarray(a) for a in arrays]
+    total = sum(a.size for a in arrays)
+    if out is None:
+        out = np.empty(total, dtype=dtype)
+    elif out.size != total:
+        raise ValueError(f"out has {out.size} elements but arrays hold {total}")
+    offset = 0
+    for array in arrays:
+        size = array.size
+        # reshape(-1) is a view for contiguous inputs, so this assignment
+        # is the only copy; any dtype cast happens inside it.
+        out[offset : offset + size] = array.reshape(-1)
+        offset += size
+    return out
 
 
 def unflatten_vector(
-    vector: np.ndarray, specs: Sequence[ParamSpec]
+    vector: np.ndarray, specs: Sequence[ParamSpec], copy: bool = True
 ) -> List[np.ndarray]:
     """Split a flat vector back into arrays matching ``specs``.
+
+    Copy semantics: with ``copy=True`` (default) each returned array owns
+    fresh storage, safe to mutate independently of ``vector``.  With
+    ``copy=False`` the returned arrays are reshaped **views** into
+    ``vector`` — zero-copy, but writes go through to the vector (and a
+    non-contiguous ``vector`` may still force per-slice copies via
+    ``reshape``).
 
     Raises ``ValueError`` if the vector length does not match the layout.
     """
@@ -58,6 +91,11 @@ def unflatten_vector(
         raise ValueError(
             f"vector has {vector.size} elements but specs describe {expected}"
         )
+    if copy:
+        return [
+            vector[spec.offset : spec.end].reshape(spec.shape).copy()
+            for spec in specs
+        ]
     return [
-        vector[spec.offset : spec.end].reshape(spec.shape).copy() for spec in specs
+        vector[spec.offset : spec.end].reshape(spec.shape) for spec in specs
     ]

@@ -1,0 +1,382 @@
+"""Arena invariants: view aliasing, optimizer state under views, and
+bit-identical trajectories between the arena and per-model fallback paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.decentralized import DPSGD
+from repro.algorithms.psgd import PSGD, TopKPSGD
+from repro.algorithms.saps_psgd import SAPSPSGD
+from repro.data import make_blobs, partition_iid
+from repro.network import random_uniform_bandwidth
+from repro.network.transport import SimulatedNetwork
+from repro.nn import MLP, SGD, ParameterArena, shared_arena
+from repro.sim import ExperimentConfig, evaluate_consensus, make_workers, run_experiment
+from repro.utils.flat import flatten_arrays, param_specs, unflatten_vector
+
+
+def make_model(seed=0):
+    return MLP(6, [5], 3, rng=seed)
+
+
+def make_adopted(num_workers=3, seed=0):
+    models = [make_model(seed) for _ in range(num_workers)]
+    arena = ParameterArena.adopt_models(models)
+    return arena, models
+
+
+# ----------------------------------------------------------------------
+# view aliasing
+# ----------------------------------------------------------------------
+class TestArenaViews:
+    def test_layer_views_alias_arena_row(self):
+        arena, models = make_adopted()
+        model = models[1]
+        for param in model.parameters():
+            assert param.arena_backed
+            assert np.shares_memory(param.data, arena.data[1])
+
+    def test_adoption_preserves_values(self):
+        model = make_model(seed=4)
+        before = model.get_flat_params().copy()
+        arena = ParameterArena.adopt_models([model])
+        np.testing.assert_array_equal(arena.data[0], before)
+
+    def test_get_flat_params_is_zero_copy(self):
+        arena, models = make_adopted()
+        flat = models[0].get_flat_params()
+        assert flat.base is arena.data or np.shares_memory(flat, arena.data[0])
+
+    def test_in_place_parameter_mutation_visible_in_flat_params(self):
+        arena, models = make_adopted()
+        param = models[2].parameters()[0]
+        param.data[...] = 42.0
+        flat = models[2].get_flat_params()
+        assert np.all(flat[: param.size] == 42.0)
+
+    def test_set_flat_params_writes_through_to_layer_views(self):
+        arena, models = make_adopted()
+        vector = np.arange(arena.model_size, dtype=np.float64)
+        models[0].set_flat_params(vector)
+        np.testing.assert_array_equal(arena.data[0], vector)
+        specs = models[0].flat_specs()
+        for param, spec in zip(models[0].parameters(), specs):
+            np.testing.assert_array_equal(
+                param.data.ravel(), vector[spec.offset : spec.end]
+            )
+
+    def test_set_flat_params_rejects_wrong_size(self):
+        _, models = make_adopted()
+        with pytest.raises(ValueError):
+            models[0].set_flat_params(np.zeros(3))
+
+    def test_rows_are_independent(self):
+        arena, models = make_adopted()
+        models[0].set_flat_params(np.ones(arena.model_size))
+        assert not np.any(arena.data[1] == 1.0)
+
+    def test_grad_views_alias_grad_row(self):
+        arena, models = make_adopted()
+        model = models[0]
+        model.zero_grad()
+        for param in model.parameters():
+            assert np.shares_memory(param.grad, arena.grads[0])
+        flat_grads = model.get_flat_grads()
+        assert np.shares_memory(flat_grads, arena.grads[0])
+
+    def test_grad_none_until_first_use_and_zeroed_in_flat_view(self):
+        arena, models = make_adopted()
+        model = models[0]
+        assert all(p.grad is None for p in model.parameters())
+        arena.grads[0, :] = 7.0  # stale garbage must not leak
+        np.testing.assert_array_equal(
+            model.get_flat_grads(), np.zeros(arena.model_size)
+        )
+
+    def test_accumulate_grad_in_place(self):
+        arena, models = make_adopted()
+        param = models[0].parameters()[0]
+        param.accumulate_grad(np.ones_like(param.data))
+        param.accumulate_grad(np.ones_like(param.data))
+        assert np.all(param.grad == 2.0)
+        assert np.shares_memory(param.grad, arena.grads[0])
+
+    def test_submodule_set_flat_params_keeps_views_bound(self):
+        # A child of an adopted model has no flat view of its own; its
+        # parameters must still be written through, never rebound.
+        arena, models = make_adopted()
+        child = models[0]._modules["layer0"]
+        assert child._flat_view is None
+        child.set_flat_params(np.ones(sum(p.size for p in child.parameters())))
+        for param in child.parameters():
+            assert np.shares_memory(param.data, arena.data[0])
+            assert np.all(param.data == 1.0)
+        child.set_flat_grads(np.full(sum(p.size for p in child.parameters()), 2.0))
+        for param in child.parameters():
+            assert np.shares_memory(param.grad, arena.grads[0])
+            assert np.all(param.grad == 2.0)
+
+    def test_state_dict_roundtrip_preserves_views(self):
+        arena, models = make_adopted()
+        state = models[0].state_dict()
+        models[0].set_flat_params(np.zeros(arena.model_size))
+        models[0].load_state_dict(state)
+        for param in models[0].parameters():
+            assert np.shares_memory(param.data, arena.data[0])
+        np.testing.assert_array_equal(
+            models[0].get_flat_params(), models[1].get_flat_params()
+        )
+
+    def test_adopt_rejects_size_mismatch_and_double_adoption(self):
+        arena, models = make_adopted(num_workers=2)
+        with pytest.raises(ValueError):
+            arena.adopt(0, make_model())  # row taken
+        other = ParameterArena(2, models[0].num_parameters())
+        with pytest.raises(ValueError):
+            other.adopt(0, models[0])  # already bound elsewhere
+        small = ParameterArena(1, 3)
+        with pytest.raises(ValueError):
+            small.adopt(0, make_model())
+
+    def test_shared_arena_detection(self):
+        arena, models = make_adopted(num_workers=3)
+        assert shared_arena(models) is arena
+        assert shared_arena(models[::-1]) is None  # wrong rank order
+        assert shared_arena(models[:2]) is None  # wrong worker count
+        assert shared_arena([make_model(), make_model()]) is None
+
+    def test_mix_matches_manual_gossip(self):
+        arena, models = make_adopted(num_workers=4, seed=9)
+        rng = np.random.default_rng(0)
+        arena.data[...] = rng.normal(size=arena.data.shape)
+        gossip = np.full((4, 4), 0.25)
+        expected = gossip @ arena.data.copy()
+        arena.mix(gossip)
+        np.testing.assert_allclose(arena.data, expected)
+
+    def test_consensus_reductions_match_stacked(self):
+        arena, models = make_adopted(num_workers=4)
+        rng = np.random.default_rng(1)
+        arena.data[...] = rng.normal(size=arena.data.shape)
+        stacked = np.stack([m.get_flat_params().copy() for m in models])
+        np.testing.assert_array_equal(arena.mean_model(), stacked.mean(axis=0))
+        mean = stacked.mean(axis=0)
+        expected = float(np.mean(np.sum((stacked - mean) ** 2, axis=1)))
+        assert arena.consensus_distance() == expected
+
+
+# ----------------------------------------------------------------------
+# optimizer state under views
+# ----------------------------------------------------------------------
+class TestOptimizerUnderViews:
+    @pytest.mark.parametrize("momentum,nesterov", [(0.0, False), (0.9, False), (0.9, True)])
+    def test_sgd_identical_with_and_without_arena(self, momentum, nesterov):
+        plain = make_model(seed=3)
+        adopted = make_model(seed=3)
+        arena = ParameterArena.adopt_models([adopted])
+        optimizers = [
+            SGD(m.parameters(), lr=0.1, momentum=momentum,
+                weight_decay=0.01, nesterov=nesterov)
+            for m in (plain, adopted)
+        ]
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            grads = [rng.normal(size=p.data.shape) for p in plain.parameters()]
+            for model, optimizer in zip((plain, adopted), optimizers):
+                model.zero_grad()
+                for param, grad in zip(model.parameters(), grads):
+                    param.accumulate_grad(grad)
+                optimizer.step()
+        np.testing.assert_array_equal(
+            plain.get_flat_params(), adopted.get_flat_params()
+        )
+        # the update never detached the views
+        for param in adopted.parameters():
+            assert np.shares_memory(param.data, arena.data[0])
+
+
+# ----------------------------------------------------------------------
+# flat helpers (copy semantics)
+# ----------------------------------------------------------------------
+class TestFlatCopySemantics:
+    def test_flatten_arrays_into_preallocated_out(self):
+        arrays = [np.arange(6, dtype=np.float64).reshape(2, 3), np.ones(2)]
+        out = np.empty(8)
+        result = flatten_arrays(arrays, out=out)
+        assert result is out
+        np.testing.assert_array_equal(result, [0, 1, 2, 3, 4, 5, 1, 1])
+        with pytest.raises(ValueError):
+            flatten_arrays(arrays, out=np.empty(5))
+
+    def test_flatten_arrays_casts_non_float64(self):
+        result = flatten_arrays([np.array([1, 2], dtype=np.int32)])
+        assert result.dtype == np.float64
+        np.testing.assert_array_equal(result, [1.0, 2.0])
+
+    def test_flatten_arrays_accepts_plain_sequences(self):
+        result = flatten_arrays([[1.0, 2.0], [3.0]])
+        assert result.dtype == np.float64
+        np.testing.assert_array_equal(result, [1.0, 2.0, 3.0])
+
+    def test_unflatten_copy_false_returns_views(self):
+        vector = np.arange(6, dtype=np.float64)
+        specs = param_specs([np.empty((2, 2)), np.empty(2)])
+        views = unflatten_vector(vector, specs, copy=False)
+        assert all(np.shares_memory(v, vector) for v in views)
+        views[0][0, 0] = 99.0
+        assert vector[0] == 99.0
+
+    def test_unflatten_copy_true_is_independent(self):
+        vector = np.arange(6, dtype=np.float64)
+        specs = param_specs([np.empty((2, 2)), np.empty(2)])
+        arrays = unflatten_vector(vector, specs)
+        arrays[0][0, 0] = 99.0
+        assert vector[0] == 0.0
+
+
+# ----------------------------------------------------------------------
+# trajectory equivalence: arena fast paths vs per-model fallback
+# ----------------------------------------------------------------------
+def _workload(num_workers, seed=5):
+    full = make_blobs(
+        num_samples=40 * num_workers + 80, num_classes=4, num_features=12,
+        rng=seed,
+    )
+    train, validation = full.split(
+        fraction=(40 * num_workers) / (40 * num_workers + 80), rng=seed
+    )
+    return partition_iid(train, num_workers, rng=seed), validation
+
+
+def _run(algorithm_factory, num_workers, use_arena, rounds=15, momentum=0.9):
+    partitions, validation = _workload(num_workers)
+    config = ExperimentConfig(
+        rounds=rounds, batch_size=8, lr=0.1, momentum=momentum,
+        eval_every=5, seed=3, use_arena=use_arena,
+    )
+    network = SimulatedNetwork(
+        num_workers, bandwidth=random_uniform_bandwidth(num_workers, rng=0)
+    )
+    factory = lambda: MLP(12, [10], 4, rng=11)
+    return run_experiment(
+        algorithm_factory(), partitions, validation, factory, config,
+        network=network,
+    )
+
+
+TRACKED_FIELDS = (
+    "train_loss", "val_loss", "val_accuracy", "consensus_distance",
+    "worker_traffic_mb", "comm_time_s",
+)
+
+
+def assert_identical_histories(result_a, result_b):
+    assert len(result_a.history) == len(result_b.history)
+    for field in TRACKED_FIELDS:
+        series_a = np.array([getattr(r, field) for r in result_a.history])
+        series_b = np.array([getattr(r, field) for r in result_b.history])
+        np.testing.assert_array_equal(
+            series_a, series_b, err_msg=f"{field} diverged"
+        )
+
+
+@pytest.mark.parametrize(
+    "algorithm_factory",
+    [
+        lambda: SAPSPSGD(compression_ratio=8.0, base_seed=3),
+        lambda: SAPSPSGD(compression_ratio=8.0, selector="ring", base_seed=3),
+        lambda: PSGD(),
+    ],
+    ids=["saps-adaptive", "saps-ring", "psgd"],
+)
+def test_trajectories_bit_identical_arena_vs_fallback(algorithm_factory):
+    arena_result = _run(algorithm_factory, num_workers=4, use_arena=True)
+    fallback_result = _run(algorithm_factory, num_workers=4, use_arena=False)
+    assert_identical_histories(arena_result, fallback_result)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "algorithm_factory",
+    [
+        lambda: SAPSPSGD(compression_ratio=20.0, base_seed=3),
+        lambda: PSGD(),
+        lambda: TopKPSGD(compression_ratio=50.0),
+        lambda: DPSGD(),
+    ],
+    ids=["saps", "psgd", "topk", "dpsgd"],
+)
+def test_trajectories_bit_identical_at_scale(algorithm_factory):
+    arena_result = _run(
+        algorithm_factory, num_workers=16, use_arena=True, rounds=30
+    )
+    fallback_result = _run(
+        algorithm_factory, num_workers=16, use_arena=False, rounds=30
+    )
+    assert_identical_histories(arena_result, fallback_result)
+
+
+def test_make_workers_adopts_shared_arena():
+    partitions, _ = _workload(4)
+    config = ExperimentConfig(rounds=1, batch_size=8)
+    workers = make_workers(lambda: MLP(12, [10], 4, rng=1), partitions, config)
+    arena = shared_arena([w.model for w in workers])
+    assert arena is not None
+    assert arena.num_workers == 4
+
+    config_off = ExperimentConfig(rounds=1, batch_size=8, use_arena=False)
+    workers_off = make_workers(
+        lambda: MLP(12, [10], 4, rng=1), partitions, config_off
+    )
+    assert shared_arena([w.model for w in workers_off]) is None
+
+
+def test_snapshot_params_is_independent_copy():
+    partitions, _ = _workload(4)
+    config = ExperimentConfig(rounds=1, batch_size=8)
+    workers = make_workers(lambda: MLP(12, [10], 4, rng=1), partitions, config)
+    snapshot = workers[0].snapshot_params()
+    live = workers[0].get_params()
+    assert not np.shares_memory(snapshot, live)
+    workers[0].set_params(np.zeros_like(snapshot))
+    assert np.any(snapshot != 0.0)
+
+
+def test_dpsgd_fallback_safe_for_undetected_arena_views():
+    # Workers adopted into an arena that setup does NOT detect (models
+    # bound out of rank order) must still see round-start snapshots in
+    # the fallback mixing loop, not live rows.
+    partitions, validation = _workload(4)
+    config = ExperimentConfig(rounds=3, batch_size=8, seed=3, use_arena=False)
+
+    def run(adopt_out_of_order):
+        workers = make_workers(
+            lambda: MLP(12, [10], 4, rng=1), partitions, config
+        )
+        if adopt_out_of_order:
+            arena = ParameterArena(4, workers[0].model_size)
+            for row, worker in zip((3, 2, 1, 0), workers):
+                arena.adopt(row, worker.model)
+            assert shared_arena([w.model for w in workers]) is None
+        algorithm = DPSGD()
+        algorithm.setup(workers, SimulatedNetwork(4), rng=3)
+        assert algorithm.arena is None
+        for round_index in range(3):
+            algorithm.run_round(round_index)
+        return algorithm.consensus_model()
+
+    np.testing.assert_array_equal(run(False), run(True))
+
+
+def test_evaluate_consensus_restores_probe_under_arena():
+    partitions, validation = _workload(4)
+    config = ExperimentConfig(rounds=2, batch_size=8, seed=3)
+    workers = make_workers(lambda: MLP(12, [10], 4, rng=1), partitions, config)
+    algorithm = SAPSPSGD(compression_ratio=8.0, base_seed=3)
+    algorithm.setup(workers, SimulatedNetwork(4), rng=3)
+    algorithm.run_round(0)
+    before = workers[0].get_params().copy()
+    evaluate_consensus(algorithm, validation)
+    np.testing.assert_array_equal(workers[0].get_params(), before)
