@@ -8,9 +8,19 @@ code path, preserved verbatim behind ``use_arena=False``):
   per worker (the per-exchange cost SAPS used to pay per matched pair);
 * ``saps_round`` — one full SAPS-PSGD communication round (local SGD +
   masked pairwise exchange) at n workers;
-* ``psgd_round`` — one full all-reduce PSGD round at n workers.
+* ``psgd_round`` — one full all-reduce PSGD round at n workers;
+* ``dtype_round`` — the same SAPS round at float64 vs float32 (both on
+  the arena fast path), with resident replica-matrix bytes — the
+  memory-traffic half of the float32 story;
+* ``compression_batch`` — per-round ``compress_matrix`` over the
+  ``(n, N)`` replica matrix vs the per-worker ``compress`` loop, for the
+  shared-mask and top-k sparsifiers.
 
-Results (seconds per op, and arena-vs-fallback speedups) are written to
+The dtype and batched-compression sections always run at n ∈ {32, 128}
+(they are cheap and those are the tracked scale points); the round
+benchmarks follow ``--quick`` as before.
+
+Results (seconds per op, and speedups) are written to
 ``BENCH_hot_paths.json`` at the repo root so the perf trajectory is
 tracked across PRs.
 
@@ -34,6 +44,7 @@ import numpy as np
 
 from repro.algorithms.psgd import PSGD
 from repro.algorithms.saps_psgd import SAPSPSGD
+from repro.compression import RandomMaskCompressor, TopKCompressor
 from repro.data import make_blobs, partition_iid
 from repro.network.transport import SimulatedNetwork
 from repro.nn import MLP
@@ -146,9 +157,88 @@ def bench_psgd_round(num_workers: int, rounds: int, repeats: int) -> dict:
     return _bench_rounds(lambda: PSGD(), num_workers, rounds, repeats)
 
 
+def bench_dtype_round(num_workers: int, rounds: int, repeats: int) -> dict:
+    """SAPS round at float64 vs float32, both on the arena fast path.
+
+    Also records the resident replica-matrix footprint (data + grads) per
+    dtype — the memory-traffic halving is the point of float32, the
+    wall-clock speedup is workload-dependent gravy.
+    """
+    partitions = _workload(num_workers)
+    results = {}
+    for label in ("float64", "float32"):
+        config = ExperimentConfig(
+            rounds=rounds, batch_size=2, lr=0.05, seed=7, dtype=label
+        )
+        workers = make_workers(_model_factory(), partitions, config)
+        algorithm = SAPSPSGD(
+            compression_ratio=20.0, selector="ring", base_seed=7
+        )
+        network = SimulatedNetwork(num_workers=num_workers)
+        algorithm.setup(workers, network, rng=7)
+        algorithm.run_round(0)  # warm-up
+
+        arena = algorithm.arena
+        results[f"{label}_arena_bytes"] = arena.data.nbytes + arena.grads.nbytes
+        total_rounds = repeats * rounds
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            for round_index in range(1, total_rounds + 1):
+                algorithm.run_round(round_index)
+            results[label] = (time.perf_counter() - start) / total_rounds
+        finally:
+            gc.enable()
+    results["speedup"] = results["float64"] / results["float32"]
+    results["memory_reduction"] = (
+        results["float64_arena_bytes"] / results["float32_arena_bytes"]
+    )
+    return results
+
+
+def bench_compression_batch(num_workers: int, repeats: int) -> dict:
+    """Per-round compress_matrix vs the per-worker compress loop.
+
+    Times compression of one (n, N) replica matrix — the exact shape the
+    SAPS/TopK arena fast paths feed it — for the paper's shared-mask
+    scheme and the top-k baseline.
+    """
+    model_size = _model_factory()().num_parameters()
+    matrix = np.random.default_rng(7).normal(size=(num_workers, model_size))
+    results = {}
+
+    mask = RandomMaskCompressor(20.0)
+    mask.set_seed(7)
+    topk = TopKCompressor(20.0)
+    for name, compressor in (("shared_mask", mask), ("topk", topk)):
+        def per_row():
+            for row in matrix:
+                compressor.compress(row)
+
+        def batched():
+            compressor.compress_matrix(matrix)
+
+        per_row()  # warm-up
+        batched()
+        row = {
+            "per_row": _time(per_row, repeats),
+            "batched": _time(batched, repeats),
+        }
+        row["speedup"] = row["per_row"] / row["batched"]
+        results[name] = row
+    return results
+
+
+#: Scale points for the dtype / batched-compression sections (tracked in
+#: all modes — they are cheap even at n=128).
+DTYPE_BATCH_COUNTS = [32, 128]
+
+
 def run_suite(quick: bool, repeats: int) -> dict:
     worker_counts = [8, 32] if quick else [8, 32, 128]
     rounds = 20 if quick else 30
+    dtype_rounds = 5 if quick else 15
     model_size = _model_factory()().num_parameters()
     report = {
         "model_size": model_size,
@@ -157,6 +247,8 @@ def run_suite(quick: bool, repeats: int) -> dict:
         "flat_roundtrip": {},
         "saps_round": {},
         "psgd_round": {},
+        "dtype_round": {},
+        "compression_batch": {},
     }
     for n in worker_counts:
         print(f"n={n:4d}  flat round-trip ...", flush=True)
@@ -165,6 +257,13 @@ def run_suite(quick: bool, repeats: int) -> dict:
         report["saps_round"][str(n)] = bench_saps_round(n, rounds, repeats)
         print(f"n={n:4d}  PSGD round ...", flush=True)
         report["psgd_round"][str(n)] = bench_psgd_round(n, rounds, repeats)
+    for n in DTYPE_BATCH_COUNTS:
+        print(f"n={n:4d}  float32 vs float64 round ...", flush=True)
+        report["dtype_round"][str(n)] = bench_dtype_round(
+            n, dtype_rounds, max(repeats - 2, 2)
+        )
+        print(f"n={n:4d}  batched vs per-row compression ...", flush=True)
+        report["compression_batch"][str(n)] = bench_compression_batch(n, repeats)
     return report
 
 
@@ -180,6 +279,26 @@ def render(report: dict) -> str:
             lines.append(
                 f"{bench:>16} {n:>5} {row['fallback']:>12.3e} "
                 f"{row['arena']:>12.3e} {row['speedup']:>7.1f}x"
+            )
+    lines.append(
+        f"{'bench':>16} {'n':>5} {'float64_s':>12} {'float32_s':>12} "
+        f"{'speedup':>8} {'mem':>6}"
+    )
+    for n, row in report["dtype_round"].items():
+        lines.append(
+            f"{'dtype_round':>16} {n:>5} {row['float64']:>12.3e} "
+            f"{row['float32']:>12.3e} {row['speedup']:>7.1f}x "
+            f"{row['memory_reduction']:>5.1f}x"
+        )
+    lines.append(
+        f"{'bench':>16} {'n':>5} {'per_row_s':>12} {'batched_s':>12} "
+        f"{'speedup':>8}"
+    )
+    for n, by_scheme in report["compression_batch"].items():
+        for scheme, row in by_scheme.items():
+            lines.append(
+                f"{'compress:' + scheme:>16} {n:>5} {row['per_row']:>12.3e} "
+                f"{row['batched']:>12.3e} {row['speedup']:>7.1f}x"
             )
     return "\n".join(lines)
 

@@ -109,7 +109,11 @@ class DistributedAlgorithm:
         matrix; fallback: per-worker flat round-trips.  Bit-identical.
         """
         if self.arena is not None:
-            rates = np.array([w.optimizer.lr for w in self.workers])
+            # Learning rates in the arena dtype: float32 runs update
+            # without a float64 upcast temporary (no-op at float64).
+            rates = np.array(
+                [w.optimizer.lr for w in self.workers], dtype=self.arena.dtype
+            )
             self.arena.data -= rates[:, None] * average
             for worker in self.workers:
                 worker.steps_taken += 1

@@ -28,7 +28,14 @@ class DPSGD(DistributedAlgorithm):
     name = "D-PSGD"
 
     def _after_setup(self) -> None:
-        self.gossip = ring_gossip_matrix(self.num_workers)
+        # Mixing weights live in the workers' dtype so float32 runs mix
+        # without upcast temporaries (no-op cast at float64).
+        dtype = (
+            self.arena.dtype
+            if self.arena is not None
+            else self.workers[0].model.dtype
+        )
+        self.gossip = ring_gossip_matrix(self.num_workers).astype(dtype, copy=False)
 
     def _ring_neighbors(self, rank: int) -> List[int]:
         n = self.num_workers
@@ -133,9 +140,14 @@ class DCDPSGD(DPSGD):
             losses.append(loss)
             gradients.append(gradient)
 
-        # Phase 1: local updates from replicas; build compressed deltas.
-        deltas = []
-        payload_bytes = []
+        # Phase 1: local updates from replicas; collect the model deltas
+        # as one (n, N) matrix, then compress all rows in a single
+        # batched top-k pass (deterministic, so identical to compressing
+        # each worker's delta on its own).
+        delta_matrix = np.empty(
+            (self.num_workers, self.model_size),
+            dtype=self.workers[0].model.dtype,
+        )
         for rank, worker in enumerate(self.workers):
             mixed = self.gossip[rank, rank] * self.replicas[rank][rank]
             for neighbor in self._ring_neighbors(rank):
@@ -144,11 +156,10 @@ class DCDPSGD(DPSGD):
             new_params = mixed - lr * gradients[rank]
             worker.set_params(new_params)
             worker.steps_taken += 1
-            payload = self.compressor.compress(
-                new_params - self.replicas[rank][rank], round_index
-            )
-            deltas.append(payload.to_dense(self.model_size))
-            payload_bytes.append(payload.num_bytes())
+            delta_matrix[rank] = new_params - self.replicas[rank][rank]
+        batch = self.compressor.compress_matrix(delta_matrix, round_index)
+        deltas = batch.to_dense(self.model_size)
+        payload_bytes = batch.row_bytes()
 
         # Phase 2: everyone integrates the same deltas into replicas.
         for rank in range(self.num_workers):

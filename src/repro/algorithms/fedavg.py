@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.algorithms.base import DistributedAlgorithm
 from repro.compression.base import BYTES_PER_INDEX, BYTES_PER_VALUE
+from repro.compression.topk import k_for
 from repro.network.metrics import TrafficMeter
 
 
@@ -118,8 +119,8 @@ class SparseFedAvg(FedAvg):
         selected = self._select()
         self.last_participants = selected
         losses = []
-        kept = max(1, int(np.ceil(self.model_size / self.compression_ratio)))
-        delta_sums = np.zeros(self.model_size)
+        kept = k_for(self.model_size, self.compression_ratio)
+        delta_sums = np.zeros(self.model_size, dtype=self.global_model.dtype)
         sender_counts = np.zeros(self.model_size)
         for rank in selected:
             worker = self.workers[rank]
@@ -140,7 +141,12 @@ class SparseFedAvg(FedAvg):
         update = np.where(
             sender_counts > 0, delta_sums / np.maximum(sender_counts, 1), 0.0
         )
-        self.global_model = self.global_model + update
+        # sender_counts is float64 (exact small integers), so the division
+        # upcasts; cast back so a float32 global model stays float32
+        # (no-op at float64).
+        self.global_model = self.global_model + update.astype(
+            self.global_model.dtype, copy=False
+        )
         upload_bytes = kept * (BYTES_PER_VALUE + BYTES_PER_INDEX)
         self._account(round_index, selected, upload_bytes)
         return float(np.mean(losses))

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.algorithms.base import DistributedAlgorithm
 from repro.compression.base import BYTES_PER_VALUE
-from repro.compression.error_feedback import ErrorFeedback
+from repro.compression.error_feedback import BatchedErrorFeedback, ErrorFeedback
 from repro.compression.topk import TopKCompressor
 
 
@@ -67,25 +67,54 @@ class TopKPSGD(DistributedAlgorithm):
         super().__init__()
         self.compressor = TopKCompressor(compression_ratio)
         self._feedback: list = []
+        self._batch_feedback = None
 
     def _after_setup(self) -> None:
-        self._feedback = [
-            ErrorFeedback(self.compressor, self.model_size)
-            for _ in range(self.num_workers)
-        ]
+        if self.arena is not None:
+            # Arena fast path: one (n, N) residual matrix; compression
+            # runs over the whole gradient matrix per round.  Top-k is
+            # deterministic, so this is element-for-element identical to
+            # n independent per-worker buffers.
+            self._batch_feedback = BatchedErrorFeedback(
+                self.compressor,
+                self.num_workers,
+                self.model_size,
+                dtype=self.arena.dtype,
+            )
+            self._feedback = []
+        else:
+            self._batch_feedback = None
+            self._feedback = [
+                ErrorFeedback(
+                    self.compressor, self.model_size, dtype=worker.model.dtype
+                )
+                for worker in self.workers
+            ]
 
     def run_round(self, round_index: int) -> float:
         losses = []
-        dense_contributions = []
-        payload_bytes = []
-        for worker, feedback in zip(self.workers, self._feedback):
-            loss, gradient = worker.compute_gradient()
-            losses.append(loss)
-            payload, dense_sent = feedback.compress(gradient, round_index)
-            dense_contributions.append(dense_sent)
-            payload_bytes.append(payload.num_bytes())
-
-        average = np.mean(dense_contributions, axis=0)
+        if self.arena is not None:
+            # Gradients accumulate into the arena's grad matrix as the
+            # workers backprop; compensation + top-k + residual update
+            # are then three matrix operations via compress_matrix.
+            for worker in self.workers:
+                loss, _ = worker.compute_gradient()
+                losses.append(loss)
+            batch, dense_sent = self._batch_feedback.compress(
+                self.arena.grads, round_index
+            )
+            payload_bytes = batch.row_bytes()
+            average = dense_sent.mean(axis=0)
+        else:
+            dense_contributions = []
+            payload_bytes = []
+            for worker, feedback in zip(self.workers, self._feedback):
+                loss, gradient = worker.compute_gradient()
+                losses.append(loss)
+                payload, dense_sent = feedback.compress(gradient, round_index)
+                dense_contributions.append(dense_sent)
+                payload_bytes.append(payload.num_bytes())
+            average = np.mean(dense_contributions, axis=0)
         self._apply_average_gradient(average)
 
         # Allgather: every worker ships its sparse gradient to the other

@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.algorithms.base import DistributedAlgorithm
 from repro.compression.base import SharedMaskPayload
-from repro.compression.random_mask import generate_mask
+from repro.compression.random_mask import RandomMaskCompressor, generate_mask
 from repro.core.gossip import FixedRingSelector, RandomPeerSelector
 from repro.core.protocol import Coordinator, RoundPlan
 from repro.network.metrics import utilized_bandwidth_per_round
@@ -60,6 +60,10 @@ class SAPSPSGD(DistributedAlgorithm):
         #: FedAvg-style extension, ablated in bench_ablations).
         self.local_steps = int(local_steps)
         self.compression_ratio = float(compression_ratio)
+        #: Round-level compressor: the arena fast path compresses the
+        #: whole replica matrix through ``compress_matrix_with_seed``
+        #: (one shared mask, one gather) instead of per worker.
+        self.compressor = RandomMaskCompressor(self.compression_ratio)
         self.bandwidth_threshold = bandwidth_threshold
         self.connectivity_gap = connectivity_gap
         self.selector_kind = selector
@@ -159,12 +163,6 @@ class SAPSPSGD(DistributedAlgorithm):
             self.network.finish_round()
             return float("nan")
 
-        # Shared mask for this round (lines 6-7).
-        mask = generate_mask(
-            self.model_size, self.compression_ratio, plan.mask_seed
-        )
-        indices = np.flatnonzero(mask)
-
         # Loss-model filtering first (same RNG consumption order as the
         # historical per-pair loop): surviving pairs actually exchange.
         pairs = []
@@ -179,35 +177,33 @@ class SAPSPSGD(DistributedAlgorithm):
             pairs.append((a, b))
 
         if self.arena is not None:
-            # Vectorized Eq. (7): gather the masked block of every left
-            # and right partner in two fancy-indexed reads, average once,
-            # scatter back.  Bit-identical to the per-pair merge.
+            # Batched Eq. (7) end-to-end: one compress_matrix call builds
+            # the round's shared mask (Algorithm 2, lines 6-7) and
+            # gathers every replica's surviving components in a single
+            # fancy-indexed read; the merge averages the matched blocks
+            # and scatters back.  Bit-identical to the per-pair path.
             if pairs:
+                batch = self.compressor.compress_matrix_with_seed(
+                    self.arena.data, plan.mask_seed
+                )
+                indices, values = batch.indices, batch.values
                 pair_array = np.asarray(pairs, dtype=np.int64)
                 left, right = pair_array[:, 0], pair_array[:, 1]
                 replicas = self.arena.data
-                values_left = replicas[np.ix_(left, indices)]
-                values_right = replicas[np.ix_(right, indices)]
-                for row, (a, b) in enumerate(pairs):
-                    payload_a = SharedMaskPayload(
-                        values=values_left[row],
-                        indices=indices,
-                        mask_seed=plan.mask_seed,
-                    )
-                    payload_b = SharedMaskPayload(
-                        values=values_right[row],
-                        indices=indices,
-                        mask_seed=plan.mask_seed,
-                    )
+                for a, b in pairs:
                     self.network.exchange(
-                        round_index, a, b, payload_a, payload_b
+                        round_index, a, b, batch[a], batch[b]
                     )
-                averaged = 0.5 * (values_left + values_right)
+                averaged = 0.5 * (values[left] + values[right])
                 replicas[np.ix_(left, indices)] = averaged
                 replicas[np.ix_(right, indices)] = averaged
         else:
-            # Fallback: pairwise sparse exchange and Eq. (7) merge over
-            # per-model flat copies.
+            # Fallback: per-worker mask application and pairwise Eq. (7)
+            # merge over per-model flat copies.
+            mask = generate_mask(
+                self.model_size, self.compression_ratio, plan.mask_seed
+            )
+            indices = np.flatnonzero(mask)
             for a, b in pairs:
                 params_a = self.workers[a].get_params()
                 params_b = self.workers[b].get_params()

@@ -77,7 +77,7 @@ def _build_workload(args):
         )
     else:
         partitions = partition_iid(train, args.workers, rng=args.seed)
-    factory = lambda: MLP(32, [32], 10, rng=args.seed)
+    factory = lambda: MLP(32, [32], 10, rng=args.seed, dtype=args.dtype)
     return partitions, validation, factory
 
 
@@ -101,6 +101,7 @@ def _config(args) -> ExperimentConfig:
         lr=args.lr,
         eval_every=args.eval_every,
         seed=args.seed,
+        dtype=args.dtype,
     )
 
 
@@ -133,6 +134,7 @@ def cmd_run(args) -> int:
             samples_per_worker=args.samples_per_worker,
             validation_samples=args.validation_samples,
             seed=args.seed,
+            dtype=args.dtype,
         )
         print(f"Preset: {args.preset} (fast={not args.full_model})")
     else:
@@ -290,6 +292,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--connectivity-gap", type=int, default=20)
         p.add_argument(
             "--bandwidth", choices=["random", "fig1", "none"], default="random"
+        )
+        p.add_argument(
+            "--dtype",
+            choices=["float32", "float64"],
+            default="float64",
+            help="numeric dtype of the training substrate (float64 is "
+            "bit-identical to historical runs; float32 halves memory "
+            "traffic, matching the measured systems' fp32 tensors)",
         )
         p.add_argument("--non-iid", action="store_true")
         p.add_argument("--dirichlet-alpha", type=float, default=0.5)

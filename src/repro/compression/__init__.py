@@ -1,8 +1,15 @@
-"""Compression substrate: sparsifiers, quantizers, error feedback, payloads."""
+"""Compression substrate: sparsifiers, quantizers, error feedback, payloads.
+
+Per-vector ``compress`` remains the worker-level API; the arena-aware
+fast paths use :meth:`Compressor.compress_matrix`, which compresses the
+full ``(n, N)`` replica/gradient matrix per round and returns a
+:class:`BatchPayload` (per-row payloads plus batched value/index arrays).
+"""
 
 from repro.compression.base import (
     BYTES_PER_INDEX,
     BYTES_PER_VALUE,
+    BatchPayload,
     Compressor,
     DensePayload,
     IndexedPayload,
@@ -16,9 +23,19 @@ from repro.compression.random_mask import (
     generate_mask,
     mask_density,
 )
-from repro.compression.topk import RandomKCompressor, TopKCompressor, top_k_indices
-from repro.compression.quantize import QuantizeCompressor, quantize_stochastic
-from repro.compression.error_feedback import ErrorFeedback
+from repro.compression.topk import (
+    RandomKCompressor,
+    TopKCompressor,
+    k_for,
+    top_k_indices,
+    top_k_indices_matrix,
+)
+from repro.compression.quantize import (
+    QuantizeCompressor,
+    quantize_stochastic,
+    quantize_stochastic_matrix,
+)
+from repro.compression.error_feedback import BatchedErrorFeedback, ErrorFeedback
 
 __all__ = [
     "BYTES_PER_VALUE",
@@ -28,6 +45,7 @@ __all__ = [
     "SharedMaskPayload",
     "IndexedPayload",
     "QuantizedPayload",
+    "BatchPayload",
     "Compressor",
     "NoCompression",
     "RandomMaskCompressor",
@@ -35,8 +53,12 @@ __all__ = [
     "mask_density",
     "TopKCompressor",
     "RandomKCompressor",
+    "k_for",
     "top_k_indices",
+    "top_k_indices_matrix",
     "QuantizeCompressor",
     "quantize_stochastic",
+    "quantize_stochastic_matrix",
     "ErrorFeedback",
+    "BatchedErrorFeedback",
 ]

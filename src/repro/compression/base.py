@@ -12,18 +12,37 @@ numbers:
 * :class:`IndexedPayload` — Top-k-style: values *and* their indices
   travel (used by TopK-PSGD and DCD-PSGD).
 * :class:`QuantizedPayload` — reduced bits per value.
+
+Payloads preserve the numeric dtype of the values they carry:
+``to_dense`` materializes in the source dtype (a float32 payload must not
+silently re-inflate into float64 and double the memory traffic the
+simulation is modelling).
+
+Matrix-level API
+----------------
+Since the parameter arena stores the whole cluster as one ``(n, N)``
+replica matrix, compression can run **per round instead of per worker**:
+:meth:`Compressor.compress_matrix` takes the matrix and returns a
+:class:`BatchPayload` — one payload per row, plus (for the vectorized
+implementations) the batched value/index arrays so decompression and
+error feedback stay matrix-shaped.  The base implementation loops over
+rows calling :meth:`Compressor.compress`, so every compressor supports
+the batched API; the concrete compressors override it with single-pass
+vectorized selection that is element-for-element identical to the
+per-row path (see ``tests/test_compression_batched.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterator, List, Optional
 
 import numpy as np
 
 #: Bytes per uncompressed scalar.  The paper's systems exchange fp32
-#: tensors, so traffic accounting uses 4 bytes/value even though the
-#: simulator computes in float64.
+#: tensors, so traffic accounting uses 4 bytes/value regardless of the
+#: simulation dtype (float64 is simulation-only precision; the float32
+#: path makes compute match the accounting).
 BYTES_PER_VALUE = 4
 #: Bytes per transmitted index (uint32 covers all model sizes used here).
 BYTES_PER_INDEX = 4
@@ -36,7 +55,12 @@ class Payload:
         raise NotImplementedError
 
     def to_dense(self, size: int) -> np.ndarray:
-        """Materialize as a dense vector of length ``size``."""
+        """Materialize as a dense vector of length ``size``.
+
+        The result is in the payload's own dtype — decompression must not
+        up-cast (a float32 round re-inflated to float64 would double the
+        modelled memory traffic).
+        """
         raise NotImplementedError
 
 
@@ -52,7 +76,7 @@ class DensePayload(Payload):
     def to_dense(self, size: int) -> np.ndarray:
         if self.values.size != size:
             raise ValueError(f"payload has {self.values.size} values, need {size}")
-        return np.asarray(self.values, dtype=np.float64)
+        return np.asarray(self.values)
 
 
 @dataclass
@@ -72,7 +96,7 @@ class SharedMaskPayload(Payload):
         return self.values.size * BYTES_PER_VALUE
 
     def to_dense(self, size: int) -> np.ndarray:
-        dense = np.zeros(size, dtype=np.float64)
+        dense = np.zeros(size, dtype=self.values.dtype)
         dense[self.indices] = self.values
         return dense
 
@@ -88,7 +112,7 @@ class IndexedPayload(Payload):
         return self.values.size * BYTES_PER_VALUE + self.indices.size * BYTES_PER_INDEX
 
     def to_dense(self, size: int) -> np.ndarray:
-        dense = np.zeros(size, dtype=np.float64)
+        dense = np.zeros(size, dtype=self.values.dtype)
         dense[self.indices] = self.values
         return dense
 
@@ -107,7 +131,83 @@ class QuantizedPayload(Payload):
     def to_dense(self, size: int) -> np.ndarray:
         if self.values.size != size:
             raise ValueError(f"payload has {self.values.size} values, need {size}")
-        return np.asarray(self.values, dtype=np.float64)
+        return np.asarray(self.values)
+
+
+@dataclass
+class BatchPayload(Payload):
+    """One communication round's payloads for every row of a matrix.
+
+    Produced by :meth:`Compressor.compress_matrix`.  Row ``i``'s payload
+    (``batch[i]``) is exactly what per-row ``compress`` would have built
+    for ``matrix[i]`` — same values, indices and wire bytes — so callers
+    that meter or ship individual payloads keep working unchanged.
+
+    The vectorized compressors additionally attach the batched arrays:
+
+    ``values``
+        ``(n, k)`` value matrix (or ``(n, N)`` dense matrix) whose rows
+        back the per-row payloads (views — no per-row copies).
+    ``indices``
+        ``None`` for dense batches, a shared ``(k,)`` index vector for
+        shared-mask batches, or an ``(n, k)`` per-row index matrix for
+        top-k / random-k batches.
+
+    When both are present :meth:`to_dense` scatters the whole batch in
+    one vectorized operation; otherwise it stacks the per-row payloads.
+    """
+
+    payloads: List[Payload]
+    values: Optional[np.ndarray] = None
+    indices: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return len(self.payloads)
+
+    def __iter__(self) -> Iterator[Payload]:
+        return iter(self.payloads)
+
+    def __getitem__(self, index: int) -> Payload:
+        return self.payloads[index]
+
+    def num_bytes(self) -> int:
+        """Total wire bytes across all rows."""
+        return sum(payload.num_bytes() for payload in self.payloads)
+
+    def row_bytes(self) -> List[int]:
+        """Wire bytes per row (what each worker actually sends)."""
+        return [payload.num_bytes() for payload in self.payloads]
+
+    def to_dense(self, size: int) -> np.ndarray:
+        """Materialize the whole batch as an ``(n, size)`` matrix.
+
+        Row ``i`` equals ``self[i].to_dense(size)`` exactly; the batched
+        arrays (when present) make this one scatter instead of ``n``.
+        """
+        if self.values is not None:
+            if self.indices is None:
+                if self.values.ndim != 2 or self.values.shape[1] != size:
+                    raise ValueError(
+                        f"batch is {self.values.shape}, need (n, {size})"
+                    )
+                return np.asarray(self.values)
+            dense = np.zeros((len(self.payloads), size), dtype=self.values.dtype)
+            if self.indices.ndim == 1:
+                dense[:, self.indices] = self.values
+            else:
+                np.put_along_axis(dense, self.indices, self.values, axis=1)
+            return dense
+        return np.stack(
+            [payload.to_dense(size) for payload in self.payloads]
+        ) if self.payloads else np.zeros((0, size))
+
+
+def check_matrix(matrix: np.ndarray) -> np.ndarray:
+    """Validate a ``(n, N)`` batch input (no copy for conforming arrays)."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-D (n, N) matrix, got shape {matrix.shape}")
+    return matrix
 
 
 class Compressor:
@@ -124,6 +224,22 @@ class Compressor:
     def compress(self, vector: np.ndarray, round_index: int = 0) -> Payload:
         raise NotImplementedError
 
+    def compress_matrix(
+        self, matrix: np.ndarray, round_index: int = 0
+    ) -> BatchPayload:
+        """Compress every row of ``matrix`` for one round.
+
+        Base implementation: loop over rows via :meth:`compress`
+        (backward compatible for any third-party compressor).  Stateful
+        compressors (RNG-driven selection) consume their streams in row
+        order, so the loop and the vectorized overrides are
+        interchangeable.
+        """
+        matrix = check_matrix(matrix)
+        return BatchPayload(
+            payloads=[self.compress(row, round_index) for row in matrix]
+        )
+
 
 class NoCompression(Compressor):
     """Identity compressor: ship the dense vector."""
@@ -132,5 +248,15 @@ class NoCompression(Compressor):
     def ratio(self) -> float:
         return 1.0
 
-    def compress(self, vector: np.ndarray, round_index: int = 0) -> Payload:
-        return DensePayload(values=np.asarray(vector, dtype=np.float64).copy())
+    def compress(self, vector: np.ndarray, round_index: int = 0) -> DensePayload:
+        return DensePayload(values=np.asarray(vector).copy())
+
+    def compress_matrix(
+        self, matrix: np.ndarray, round_index: int = 0
+    ) -> BatchPayload:
+        matrix = check_matrix(matrix)
+        copied = matrix.copy()
+        return BatchPayload(
+            payloads=[DensePayload(values=row) for row in copied],
+            values=copied,
+        )

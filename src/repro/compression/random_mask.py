@@ -10,7 +10,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.compression.base import Compressor, SharedMaskPayload
+from repro.compression.base import (
+    BatchPayload,
+    Compressor,
+    SharedMaskPayload,
+    check_matrix,
+)
 from repro.utils.validation import check_positive
 
 
@@ -69,9 +74,40 @@ class RandomMaskCompressor(Compressor):
         return self.compress_with_seed(vector, self._seed)
 
     def compress_with_seed(self, vector: np.ndarray, seed: int) -> SharedMaskPayload:
-        vector = np.asarray(vector, dtype=np.float64)
+        vector = np.asarray(vector)
         mask = generate_mask(vector.size, self._ratio, seed)
         indices = np.flatnonzero(mask)
         return SharedMaskPayload(
             values=vector[indices].copy(), indices=indices, mask_seed=int(seed)
+        )
+
+    def compress_matrix(
+        self, matrix: np.ndarray, round_index: int = 0
+    ) -> BatchPayload:
+        return self.compress_matrix_with_seed(matrix, self._seed)
+
+    def compress_matrix_with_seed(
+        self, matrix: np.ndarray, seed: int
+    ) -> BatchPayload:
+        """Apply the round's shared mask to every row in one gather.
+
+        This is the arena-aware fast path: the mask is generated once per
+        *round* (not per worker) and ``matrix[:, indices]`` gathers all
+        surviving components of all replicas in a single fancy-indexed
+        read.  Row ``i``'s payload is value-identical to
+        ``compress_with_seed(matrix[i], seed)``.
+        """
+        matrix = check_matrix(matrix)
+        mask = generate_mask(matrix.shape[1], self._ratio, seed)
+        indices = np.flatnonzero(mask)
+        values = matrix[:, indices]
+        return BatchPayload(
+            payloads=[
+                SharedMaskPayload(
+                    values=values[row], indices=indices, mask_seed=int(seed)
+                )
+                for row in range(matrix.shape[0])
+            ],
+            values=values,
+            indices=indices,
         )

@@ -40,7 +40,12 @@ class Dataset:
     name: str = "dataset"
 
     def __post_init__(self) -> None:
-        self.features = np.asarray(self.features, dtype=np.float64)
+        # Keep float32/float64 features as-is (the dtype-parametric
+        # training path relies on it); promote anything else to float64
+        # as before.
+        self.features = np.asarray(self.features)
+        if self.features.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            self.features = self.features.astype(np.float64)
         self.labels = np.asarray(self.labels, dtype=np.int64)
         if len(self.features) != len(self.labels):
             raise ValueError(
@@ -57,6 +62,19 @@ class Dataset:
     @property
     def sample_shape(self) -> Tuple[int, ...]:
         return tuple(self.features.shape[1:])
+
+    def astype(self, dtype) -> "Dataset":
+        """This dataset with features cast to ``dtype`` (no copy when the
+        dtype already matches); labels stay int64."""
+        features = self.features.astype(dtype, copy=False)
+        if features is self.features:
+            return self
+        return Dataset(
+            features=features,
+            labels=self.labels,
+            num_classes=self.num_classes,
+            name=self.name,
+        )
 
     def subset(self, indices: np.ndarray) -> "Dataset":
         """A new dataset restricted to ``indices`` (copies)."""

@@ -8,22 +8,29 @@ re-split ``N`` floats per worker — pure memory traffic the real systems
 never pay.
 
 :class:`ParameterArena` stores the matrix *directly*: worker ``p``'s
-replica is row ``p`` of one contiguous ``(n, N)`` float64 array, and each
-layer's :class:`~repro.nn.module.Parameter` ``data``/``grad`` becomes a
-reshaped **view** into that row.  Consequences:
+replica is row ``p`` of one contiguous ``(n, N)`` array (float64 by
+default, float32 via the ``dtype`` argument), and each layer's
+:class:`~repro.nn.module.Parameter` ``data``/``grad`` becomes a reshaped
+**view** into that row.  Consequences:
 
 * ``get_flat_params`` is the row itself (zero-copy), ``set_flat_params``
   is one memcpy;
 * gossip mixing, consensus reductions and all-reduce averaging become
   single vectorized matrix operations over ``arena.data`` /
   ``arena.grads`` (see the arena fast paths in ``repro.algorithms``);
+* the replica matrix is also the natural input to the **matrix-level
+  compression API** (:meth:`repro.compression.Compressor.compress_matrix`):
+  per-round mask/top-k selection runs once over ``arena.data`` or
+  ``arena.grads`` instead of once per worker vector;
 * layer-wise forward/backward is untouched — layers keep operating on
   their (now view-backed) ``Parameter`` arrays.
 
-Numerics are bit-identical to the per-model layout: the same float64
+At float64 numerics are bit-identical to the per-model layout: the same
 values flow through the same elementwise operations, only the storage
-layout and copy count change.  Every consumer keeps a fallback path for models that
-were never adopted into an arena.
+layout and copy count change.  A float32 arena halves replica memory and
+memory traffic (matching the fp32 tensors the measured systems exchange)
+at the cost of reduced precision.  Every consumer keeps a fallback path
+for models that were never adopted into an arena.
 """
 
 from __future__ import annotations
@@ -33,6 +40,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.nn.module import Module
+from repro.utils.dtypes import DTypeLike, resolve_dtype
 
 
 class ParameterArena:
@@ -47,26 +55,39 @@ class ParameterArena:
         gradient-averaging algorithms).
     """
 
-    def __init__(self, num_workers: int, model_size: int) -> None:
+    def __init__(
+        self, num_workers: int, model_size: int, dtype: DTypeLike = None
+    ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         if model_size < 0:
             raise ValueError(f"model_size must be >= 0, got {model_size}")
         self.num_workers = int(num_workers)
         self.model_size = int(model_size)
-        self.data = np.zeros((num_workers, model_size), dtype=np.float64)
-        self.grads = np.zeros((num_workers, model_size), dtype=np.float64)
+        self.dtype = resolve_dtype(dtype)
+        self.data = np.zeros((num_workers, model_size), dtype=self.dtype)
+        self.grads = np.zeros((num_workers, model_size), dtype=self.dtype)
         self._models: List[Optional[Module]] = [None] * num_workers
 
     # ------------------------------------------------------------------
     # model adoption
     # ------------------------------------------------------------------
     @classmethod
-    def adopt_models(cls, models: Sequence[Module]) -> "ParameterArena":
-        """Build an arena sized for ``models`` and adopt each in rank order."""
+    def adopt_models(
+        cls, models: Sequence[Module], dtype: DTypeLike = None
+    ) -> "ParameterArena":
+        """Build an arena sized for ``models`` and adopt each in rank order.
+
+        ``dtype`` defaults to the models' own dtype; passing an explicit
+        one makes the arena authoritative — adoption copies every
+        parameter into the arena rows, casting once, so the bound views
+        (and therefore the models) take the arena's dtype.
+        """
         if not models:
             raise ValueError("need at least one model")
-        arena = cls(len(models), models[0].num_parameters())
+        if dtype is None:
+            dtype = models[0].dtype
+        arena = cls(len(models), models[0].num_parameters(), dtype=dtype)
         for rank, model in enumerate(models):
             arena.adopt(rank, model)
         return arena
@@ -135,7 +156,7 @@ class ParameterArena:
 
     def mix(self, gossip: np.ndarray) -> None:
         """Apply one gossip step ``X ← W·X`` in a single matmul."""
-        gossip = np.asarray(gossip, dtype=np.float64)
+        gossip = np.asarray(gossip, dtype=self.dtype)
         if gossip.shape != (self.num_workers, self.num_workers):
             raise ValueError(
                 f"gossip matrix is {gossip.shape}, expected "

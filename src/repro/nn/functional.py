@@ -150,8 +150,9 @@ def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
     return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
 
 
-def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
-    """Integer labels ``(batch,)`` to one-hot ``(batch, num_classes)``."""
+def one_hot(labels: np.ndarray, num_classes: int, dtype=np.float64) -> np.ndarray:
+    """Integer labels ``(batch,)`` to one-hot ``(batch, num_classes)``
+    in ``dtype`` (default float64)."""
     labels = np.asarray(labels, dtype=np.int64)
     if labels.ndim != 1:
         raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
@@ -160,6 +161,6 @@ def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
             f"labels out of range [0, {num_classes}): "
             f"min={labels.min()}, max={labels.max()}"
         )
-    encoded = np.zeros((labels.size, num_classes), dtype=np.float64)
+    encoded = np.zeros((labels.size, num_classes), dtype=dtype)
     encoded[np.arange(labels.size), labels] = 1.0
     return encoded

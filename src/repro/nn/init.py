@@ -1,4 +1,11 @@
-"""Weight-initialization schemes (Kaiming / Xavier, fan computation)."""
+"""Weight-initialization schemes (Kaiming / Xavier, fan computation).
+
+Every initializer takes a ``dtype`` (float32/float64, default float64 via
+:func:`repro.utils.dtypes.resolve_dtype`).  Random draws always happen in
+float64 — the generator's native precision — and are cast once, so a
+float32 model is the *rounded* float64 initialization rather than a
+different random stream.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +13,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.utils.dtypes import DTypeLike, resolve_dtype
 from repro.utils.rng import SeedLike, as_generator
 
 
@@ -27,37 +35,49 @@ def compute_fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
     return fan_in, fan_out
 
 
+def _cast(array: np.ndarray, dtype: DTypeLike) -> np.ndarray:
+    return array.astype(resolve_dtype(dtype), copy=False)
+
+
 def kaiming_uniform(
-    shape: Tuple[int, ...], rng: SeedLike = None, gain: float = np.sqrt(2.0)
+    shape: Tuple[int, ...],
+    rng: SeedLike = None,
+    gain: float = np.sqrt(2.0),
+    dtype: DTypeLike = None,
 ) -> np.ndarray:
     """He-style uniform init, appropriate for ReLU networks."""
     rng = as_generator(rng)
     fan_in, _ = compute_fans(shape)
     bound = gain * np.sqrt(3.0 / fan_in)
-    return rng.uniform(-bound, bound, size=shape)
+    return _cast(rng.uniform(-bound, bound, size=shape), dtype)
 
 
 def kaiming_normal(
-    shape: Tuple[int, ...], rng: SeedLike = None, gain: float = np.sqrt(2.0)
+    shape: Tuple[int, ...],
+    rng: SeedLike = None,
+    gain: float = np.sqrt(2.0),
+    dtype: DTypeLike = None,
 ) -> np.ndarray:
     """He-style normal init."""
     rng = as_generator(rng)
     fan_in, _ = compute_fans(shape)
     std = gain / np.sqrt(fan_in)
-    return rng.normal(0.0, std, size=shape)
+    return _cast(rng.normal(0.0, std, size=shape), dtype)
 
 
-def xavier_uniform(shape: Tuple[int, ...], rng: SeedLike = None) -> np.ndarray:
+def xavier_uniform(
+    shape: Tuple[int, ...], rng: SeedLike = None, dtype: DTypeLike = None
+) -> np.ndarray:
     """Glorot uniform init, appropriate for tanh/sigmoid networks."""
     rng = as_generator(rng)
     fan_in, fan_out = compute_fans(shape)
     bound = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-bound, bound, size=shape)
+    return _cast(rng.uniform(-bound, bound, size=shape), dtype)
 
 
-def zeros(shape: Tuple[int, ...]) -> np.ndarray:
-    return np.zeros(shape, dtype=np.float64)
+def zeros(shape: Tuple[int, ...], dtype: DTypeLike = None) -> np.ndarray:
+    return np.zeros(shape, dtype=resolve_dtype(dtype))
 
 
-def ones(shape: Tuple[int, ...]) -> np.ndarray:
-    return np.ones(shape, dtype=np.float64)
+def ones(shape: Tuple[int, ...], dtype: DTypeLike = None) -> np.ndarray:
+    return np.ones(shape, dtype=resolve_dtype(dtype))

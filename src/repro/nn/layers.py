@@ -9,6 +9,7 @@ import numpy as np
 from repro.nn import functional as F
 from repro.nn import init as initializers
 from repro.nn.module import Module, Parameter
+from repro.utils.dtypes import DTypeLike, resolve_dtype
 from repro.utils.rng import SeedLike, as_generator
 
 
@@ -21,18 +22,25 @@ class Linear(Module):
         out_features: int,
         bias: bool = True,
         rng: SeedLike = None,
+        dtype: DTypeLike = None,
     ) -> None:
         super().__init__()
+        dtype = resolve_dtype(dtype)
         self.in_features = in_features
         self.out_features = out_features
         self.weight = self.register_parameter(
             "weight",
-            Parameter(initializers.kaiming_uniform((out_features, in_features), rng)),
+            Parameter(
+                initializers.kaiming_uniform(
+                    (out_features, in_features), rng, dtype=dtype
+                ),
+                dtype=dtype,
+            ),
         )
         self.bias: Optional[Parameter] = None
         if bias:
             self.bias = self.register_parameter(
-                "bias", Parameter(initializers.zeros((out_features,)))
+                "bias", Parameter(initializers.zeros((out_features,), dtype), dtype=dtype)
             )
         self._input: Optional[np.ndarray] = None
 
@@ -68,8 +76,10 @@ class Conv2d(Module):
         padding=0,
         bias: bool = True,
         rng: SeedLike = None,
+        dtype: DTypeLike = None,
     ) -> None:
         super().__init__()
+        dtype = resolve_dtype(dtype)
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.kernel_size = F.pair(kernel_size)
@@ -79,13 +89,16 @@ class Conv2d(Module):
         self.weight = self.register_parameter(
             "weight",
             Parameter(
-                initializers.kaiming_uniform((out_channels, in_channels, kh, kw), rng)
+                initializers.kaiming_uniform(
+                    (out_channels, in_channels, kh, kw), rng, dtype=dtype
+                ),
+                dtype=dtype,
             ),
         )
         self.bias: Optional[Parameter] = None
         if bias:
             self.bias = self.register_parameter(
-                "bias", Parameter(initializers.zeros((out_channels,)))
+                "bias", Parameter(initializers.zeros((out_channels,), dtype), dtype=dtype)
             )
         self._cols: Optional[np.ndarray] = None
         self._input_shape: Optional[Tuple[int, int, int, int]] = None
@@ -228,7 +241,7 @@ class GlobalAvgPool2d(Module):
         scale = 1.0 / (height * width)
         return (
             grad_output[:, :, None, None]
-            * np.ones((batch, channels, height, width))
+            * np.ones((batch, channels, height, width), dtype=grad_output.dtype)
             * scale
         )
 
@@ -281,20 +294,25 @@ class BatchNorm2d(Module):
     """
 
     def __init__(
-        self, num_features: int, momentum: float = 0.1, eps: float = 1e-5
+        self,
+        num_features: int,
+        momentum: float = 0.1,
+        eps: float = 1e-5,
+        dtype: DTypeLike = None,
     ) -> None:
         super().__init__()
+        dtype = resolve_dtype(dtype)
         self.num_features = num_features
         self.momentum = momentum
         self.eps = eps
         self.gamma = self.register_parameter(
-            "gamma", Parameter(initializers.ones((num_features,)))
+            "gamma", Parameter(initializers.ones((num_features,), dtype), dtype=dtype)
         )
         self.beta = self.register_parameter(
-            "beta", Parameter(initializers.zeros((num_features,)))
+            "beta", Parameter(initializers.zeros((num_features,), dtype), dtype=dtype)
         )
-        self.running_mean = np.zeros(num_features)
-        self.running_var = np.ones(num_features)
+        self.running_mean = np.zeros(num_features, dtype=dtype)
+        self.running_var = np.ones(num_features, dtype=dtype)
         self._cache = None
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:

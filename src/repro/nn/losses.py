@@ -46,8 +46,14 @@ class MSELoss:
     def __call__(
         self, predictions: np.ndarray, targets: np.ndarray
     ) -> Tuple[float, np.ndarray]:
-        predictions = np.asarray(predictions, dtype=np.float64)
-        targets = np.asarray(targets, dtype=np.float64)
+        # Preserve float32/float64 inputs (the gradient must flow back in
+        # the model's dtype); promote anything else to float64.
+        predictions = np.asarray(predictions)
+        targets = np.asarray(targets)
+        if predictions.dtype.kind != "f":
+            predictions = predictions.astype(np.float64)
+        if targets.dtype.kind != "f":
+            targets = targets.astype(np.float64)
         if predictions.shape != targets.shape:
             raise ValueError(
                 f"shape mismatch: {predictions.shape} vs {targets.shape}"

@@ -27,6 +27,7 @@ from repro.nn.layers import (
     MaxPool2d,
 )
 from repro.nn.module import Identity, Module, Parameter, Sequential
+from repro.utils.dtypes import DTypeLike, resolve_dtype
 from repro.utils.rng import SeedLike, as_generator, spawn_generators
 
 
@@ -39,15 +40,17 @@ class MLP(Sequential):
         hidden: List[int],
         num_classes: int,
         rng: SeedLike = None,
+        dtype: DTypeLike = None,
     ) -> None:
         rng = as_generator(rng)
+        dtype = resolve_dtype(dtype)
         layers: List[Module] = []
         previous = in_features
         for width in hidden:
-            layers.append(Linear(previous, width, rng=rng))
+            layers.append(Linear(previous, width, rng=rng, dtype=dtype))
             layers.append(ReLU())
             previous = width
-        layers.append(Linear(previous, num_classes, rng=rng))
+        layers.append(Linear(previous, num_classes, rng=rng, dtype=dtype))
         super().__init__(*layers)
         self.in_features = in_features
         self.num_classes = num_classes
@@ -56,8 +59,14 @@ class MLP(Sequential):
 class LogisticRegression(Sequential):
     """Single linear layer — the smallest convex-ish workload for tests."""
 
-    def __init__(self, in_features: int, num_classes: int, rng: SeedLike = None) -> None:
-        super().__init__(Linear(in_features, num_classes, rng=rng))
+    def __init__(
+        self,
+        in_features: int,
+        num_classes: int,
+        rng: SeedLike = None,
+        dtype: DTypeLike = None,
+    ) -> None:
+        super().__init__(Linear(in_features, num_classes, rng=rng, dtype=dtype))
         self.in_features = in_features
         self.num_classes = num_classes
 
@@ -72,17 +81,19 @@ class TinyCNN(Sequential):
         num_classes: int = 10,
         width: int = 8,
         rng: SeedLike = None,
+        dtype: DTypeLike = None,
     ) -> None:
         rng = as_generator(rng)
+        dtype = resolve_dtype(dtype)
         pooled = image_size // 2
         super().__init__(
-            Conv2d(in_channels, width, 3, padding=1, rng=rng),
+            Conv2d(in_channels, width, 3, padding=1, rng=rng, dtype=dtype),
             ReLU(),
             MaxPool2d(2),
-            Conv2d(width, width * 2, 3, padding=1, rng=rng),
+            Conv2d(width, width * 2, 3, padding=1, rng=rng, dtype=dtype),
             ReLU(),
             GlobalAvgPool2d(),
-            Linear(width * 2, num_classes, rng=rng),
+            Linear(width * 2, num_classes, rng=rng, dtype=dtype),
         )
         self.in_channels = in_channels
         self.image_size = image_size
@@ -97,19 +108,26 @@ class MnistCNN(Sequential):
     cite ([35]): conv32-pool-conv64-pool-FC512-FC10 with 'same' padding.
     """
 
-    def __init__(self, num_classes: int = 10, hidden: int = 512, rng: SeedLike = None) -> None:
+    def __init__(
+        self,
+        num_classes: int = 10,
+        hidden: int = 512,
+        rng: SeedLike = None,
+        dtype: DTypeLike = None,
+    ) -> None:
         rng = as_generator(rng)
+        dtype = resolve_dtype(dtype)
         super().__init__(
-            Conv2d(1, 32, 5, padding=2, rng=rng),
+            Conv2d(1, 32, 5, padding=2, rng=rng, dtype=dtype),
             ReLU(),
             MaxPool2d(2),
-            Conv2d(32, 64, 5, padding=2, rng=rng),
+            Conv2d(32, 64, 5, padding=2, rng=rng, dtype=dtype),
             ReLU(),
             MaxPool2d(2),
             Flatten(),
-            Linear(64 * 7 * 7, hidden, rng=rng),
+            Linear(64 * 7 * 7, hidden, rng=rng, dtype=dtype),
             ReLU(),
-            Linear(hidden, num_classes, rng=rng),
+            Linear(hidden, num_classes, rng=rng, dtype=dtype),
         )
         self.num_classes = num_classes
 
@@ -117,19 +135,26 @@ class MnistCNN(Sequential):
 class Cifar10CNN(Sequential):
     """CIFAR10-CNN: same family for ``(3, 32, 32)`` inputs."""
 
-    def __init__(self, num_classes: int = 10, hidden: int = 512, rng: SeedLike = None) -> None:
+    def __init__(
+        self,
+        num_classes: int = 10,
+        hidden: int = 512,
+        rng: SeedLike = None,
+        dtype: DTypeLike = None,
+    ) -> None:
         rng = as_generator(rng)
+        dtype = resolve_dtype(dtype)
         super().__init__(
-            Conv2d(3, 32, 5, padding=2, rng=rng),
+            Conv2d(3, 32, 5, padding=2, rng=rng, dtype=dtype),
             ReLU(),
             MaxPool2d(2),
-            Conv2d(32, 64, 5, padding=2, rng=rng),
+            Conv2d(32, 64, 5, padding=2, rng=rng, dtype=dtype),
             ReLU(),
             MaxPool2d(2),
             Flatten(),
-            Linear(64 * 8 * 8, hidden, rng=rng),
+            Linear(64 * 8 * 8, hidden, rng=rng, dtype=dtype),
             ReLU(),
-            Linear(hidden, num_classes, rng=rng),
+            Linear(hidden, num_classes, rng=rng, dtype=dtype),
         )
         self.num_classes = num_classes
 
@@ -175,21 +200,27 @@ class BasicBlock(Module):
     """Two 3×3 conv + BN layers with a residual connection."""
 
     def __init__(
-        self, in_channels: int, out_channels: int, stride: int = 1, rng: SeedLike = None
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        rng: SeedLike = None,
+        dtype: DTypeLike = None,
     ) -> None:
         super().__init__()
         rng = as_generator(rng)
+        dtype = resolve_dtype(dtype)
         self.conv1 = self.register_module(
             "conv1",
-            Conv2d(in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=rng),
+            Conv2d(in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=rng, dtype=dtype),
         )
-        self.bn1 = self.register_module("bn1", BatchNorm2d(out_channels))
+        self.bn1 = self.register_module("bn1", BatchNorm2d(out_channels, dtype=dtype))
         self.relu1 = self.register_module("relu1", ReLU())
         self.conv2 = self.register_module(
             "conv2",
-            Conv2d(out_channels, out_channels, 3, stride=1, padding=1, bias=False, rng=rng),
+            Conv2d(out_channels, out_channels, 3, stride=1, padding=1, bias=False, rng=rng, dtype=dtype),
         )
-        self.bn2 = self.register_module("bn2", BatchNorm2d(out_channels))
+        self.bn2 = self.register_module("bn2", BatchNorm2d(out_channels, dtype=dtype))
         self.relu2 = self.register_module("relu2", ReLU())
         if stride != 1 or in_channels != out_channels:
             self.shortcut: Module = self.register_module(
@@ -231,14 +262,16 @@ class ResNetCIFAR(Module):
         num_classes: int = 10,
         base_width: int = 16,
         rng: SeedLike = None,
+        dtype: DTypeLike = None,
     ) -> None:
         super().__init__()
         rng = as_generator(rng)
+        dtype = resolve_dtype(dtype)
         self.depth = 6 * blocks_per_stage + 2
         self.conv1 = self.register_module(
-            "conv1", Conv2d(3, base_width, 3, padding=1, bias=False, rng=rng)
+            "conv1", Conv2d(3, base_width, 3, padding=1, bias=False, rng=rng, dtype=dtype)
         )
-        self.bn1 = self.register_module("bn1", BatchNorm2d(base_width))
+        self.bn1 = self.register_module("bn1", BatchNorm2d(base_width, dtype=dtype))
         self.relu = self.register_module("relu", ReLU())
         self.blocks: List[BasicBlock] = []
         widths = [base_width, base_width * 2, base_width * 4]
@@ -246,14 +279,16 @@ class ResNetCIFAR(Module):
         for stage, width in enumerate(widths):
             for block_index in range(blocks_per_stage):
                 stride = 2 if stage > 0 and block_index == 0 else 1
-                block = BasicBlock(in_channels, width, stride=stride, rng=rng)
+                block = BasicBlock(
+                    in_channels, width, stride=stride, rng=rng, dtype=dtype
+                )
                 self.blocks.append(
                     self.register_module(f"stage{stage}_block{block_index}", block)
                 )
                 in_channels = width
         self.pool = self.register_module("pool", GlobalAvgPool2d())
         self.fc = self.register_module(
-            "fc", Linear(widths[-1], num_classes, rng=rng)
+            "fc", Linear(widths[-1], num_classes, rng=rng, dtype=dtype)
         )
         self.num_classes = num_classes
 
@@ -270,9 +305,13 @@ class ResNetCIFAR(Module):
         return self.conv1.backward(self.bn1.backward(self.relu.backward(grad)))
 
 
-def ResNet20(num_classes: int = 10, rng: SeedLike = None) -> ResNetCIFAR:
+def ResNet20(
+    num_classes: int = 10, rng: SeedLike = None, dtype: DTypeLike = None
+) -> ResNetCIFAR:
     """The paper's ResNet-20 (269,722 parameters)."""
-    return ResNetCIFAR(blocks_per_stage=3, num_classes=num_classes, rng=rng)
+    return ResNetCIFAR(
+        blocks_per_stage=3, num_classes=num_classes, rng=rng, dtype=dtype
+    )
 
 
 # ---------------------------------------------------------------------------

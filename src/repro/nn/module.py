@@ -17,6 +17,7 @@ from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
+from repro.utils.dtypes import DEFAULT_DTYPE, DTypeLike, resolve_dtype
 from repro.utils.flat import ParamSpec, flatten_arrays, param_specs, unflatten_vector
 
 
@@ -26,7 +27,8 @@ class Parameter:
     Attributes
     ----------
     data:
-        The parameter values (float64 ndarray).  When the parameter is
+        The parameter values (float32 or float64 ndarray; ``dtype``
+        selects which, defaulting to float64).  When the parameter is
         *arena-backed* (see :class:`repro.nn.arena.ParameterArena`) this
         is a reshaped view into the arena's contiguous row, and it must
         only ever be mutated in place — rebinding would silently detach
@@ -39,8 +41,10 @@ class Parameter:
         in error messages and tests.
     """
 
-    def __init__(self, data: np.ndarray, name: str = "") -> None:
-        self.data = np.asarray(data, dtype=np.float64)
+    def __init__(
+        self, data: np.ndarray, name: str = "", dtype: DTypeLike = None
+    ) -> None:
+        self.data = np.asarray(data, dtype=resolve_dtype(dtype))
         self.grad: Optional[np.ndarray] = None
         self.name = name
         #: True once :meth:`bind_views` rebound storage into an arena row.
@@ -156,6 +160,16 @@ class Module:
         """Total number of scalar parameters (the paper's ``N``)."""
         return sum(p.size for p in self.parameters())
 
+    @property
+    def dtype(self) -> np.dtype:
+        """The model's numeric dtype (first parameter's; float64 when
+        parameter-free).  All parameters of one model share a dtype by
+        construction — layers thread one ``dtype`` argument through — and
+        arena adoption re-homogenizes them if they ever diverge."""
+        for param in self.parameters():
+            return param.data.dtype
+        return DEFAULT_DTYPE
+
     # ------------------------------------------------------------------
     # train/eval mode and gradient management
     # ------------------------------------------------------------------
@@ -208,7 +222,7 @@ class Module:
         """
         if self._flat_view is not None:
             return self._flat_view
-        return flatten_arrays([p.data for p in self.parameters()])
+        return flatten_arrays([p.data for p in self.parameters()], dtype=self.dtype)
 
     def set_flat_params(self, vector: np.ndarray) -> None:
         """Load the model from a flat vector produced by a peer.
@@ -217,7 +231,7 @@ class Module:
         stay bound); plain models rebind each ``Parameter.data``.
         """
         if self._flat_view is not None:
-            vector = np.asarray(vector, dtype=np.float64)
+            vector = np.asarray(vector, dtype=self._flat_view.dtype)
             if vector.size != self._flat_view.size:
                 raise ValueError(
                     f"vector has {vector.size} elements but model "
@@ -233,7 +247,9 @@ class Module:
                 # from its arena row — write through instead.
                 param.data[...] = array
             else:
-                param.data = array
+                # Rebinding must not silently change the parameter dtype
+                # (a float64 peer vector loaded into a float32 model).
+                param.data = array.astype(param.data.dtype, copy=False)
 
     def get_flat_grads(self) -> np.ndarray:
         """Accumulated gradients as one vector (zeros where grad unset).
@@ -251,11 +267,11 @@ class Module:
             p.grad if p.grad is not None else np.zeros_like(p.data)
             for p in self.parameters()
         ]
-        return flatten_arrays(grads)
+        return flatten_arrays(grads, dtype=self.dtype)
 
     def set_flat_grads(self, vector: np.ndarray) -> None:
         if self._flat_grad_view is not None:
-            vector = np.asarray(vector, dtype=np.float64)
+            vector = np.asarray(vector, dtype=self._flat_grad_view.dtype)
             if vector.size != self._flat_grad_view.size:
                 raise ValueError(
                     f"vector has {vector.size} elements but model "
@@ -271,7 +287,7 @@ class Module:
                 param._grad_view[...] = array
                 param.grad = param._grad_view
             else:
-                param.grad = array
+                param.grad = array.astype(param.data.dtype, copy=False)
 
     # ------------------------------------------------------------------
     # state dict (for checkpoint round-trips in tests/examples)
@@ -295,9 +311,11 @@ class Module:
                     f"{param.data.shape} vs {state[name].shape}"
                 )
             if param.arena_backed:
-                param.data[...] = np.asarray(state[name], dtype=np.float64)
+                param.data[...] = np.asarray(state[name], dtype=param.data.dtype)
             else:
-                param.data = np.asarray(state[name], dtype=np.float64).copy()
+                param.data = np.asarray(
+                    state[name], dtype=param.data.dtype
+                ).copy()
 
 
 class Sequential(Module):

@@ -32,7 +32,13 @@ class Optimizer:
 
 
 class SGD(Optimizer):
-    """SGD with optional Polyak momentum and decoupled weight decay."""
+    """SGD with optional Polyak momentum and decoupled weight decay.
+
+    Dtype-neutral: all state (velocities, the vectorized flat scratch
+    buffer) is allocated in the parameters' own dtype, and scalar
+    hyperparameters are Python floats, so float32 models update in
+    float32 with no hidden upcast temporaries.
+    """
 
     def __init__(
         self,

@@ -141,6 +141,7 @@ def instantiate_preset(
     samples_per_worker: int = 40,
     validation_samples: int = 200,
     seed: int = 0,
+    dtype: str = "float64",
 ) -> Tuple[List[Dataset], Dataset, Callable[[], Module], ExperimentConfig]:
     """Build (partitions, validation, model_factory, config) for a preset.
 
@@ -149,6 +150,10 @@ def instantiate_preset(
     dataset, so the preset runs in seconds.  ``fast=False`` uses the
     paper's full architecture on the full-shape synthetic dataset —
     slow in pure numpy, intended for smoke-scale runs.
+
+    ``dtype`` selects the training precision (``"float64"`` default,
+    ``"float32"`` for the reduced-precision path); it flows into both the
+    model factory and ``ExperimentConfig.dtype``.
     """
     if name not in PRESETS:
         raise KeyError(f"unknown preset {name!r}; available: {available_presets()}")
@@ -161,26 +166,29 @@ def instantiate_preset(
                 total, num_classes=10, channels=1, size=10, noise=0.1, rng=seed
             )
             model_factory = lambda: TinyCNN(
-                in_channels=1, image_size=10, num_classes=10, width=8, rng=seed
+                in_channels=1, image_size=10, num_classes=10, width=8,
+                rng=seed, dtype=dtype,
             )
         elif name == "cifar10-cnn":
             dataset = make_synthetic_images(
                 total, num_classes=10, channels=3, size=10, noise=0.1, rng=seed
             )
             model_factory = lambda: TinyCNN(
-                in_channels=3, image_size=10, num_classes=10, width=8, rng=seed
+                in_channels=3, image_size=10, num_classes=10, width=8,
+                rng=seed, dtype=dtype,
             )
         else:  # resnet-20 stand-in: wider tiny CNN
             dataset = make_synthetic_images(
                 total, num_classes=10, channels=3, size=10, noise=0.1, rng=seed
             )
             model_factory = lambda: TinyCNN(
-                in_channels=3, image_size=10, num_classes=10, width=12, rng=seed
+                in_channels=3, image_size=10, num_classes=10, width=12,
+                rng=seed, dtype=dtype,
             )
         rounds = max(preset.scaled_rounds // 2, 40)
     else:
         dataset = preset.dataset_factory(total, rng=seed)
-        model_factory = lambda: preset.model_factory(rng=seed)
+        model_factory = lambda: preset.model_factory(rng=seed, dtype=dtype)
         rounds = preset.scaled_rounds
 
     fraction = (total - validation_samples) / total
@@ -192,5 +200,6 @@ def instantiate_preset(
         lr=preset.scaled_lr,
         eval_every=max(rounds // 10, 1),
         seed=seed,
+        dtype=dtype,
     )
     return partitions, validation, model_factory, config

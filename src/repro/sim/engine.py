@@ -19,6 +19,7 @@ from repro.network.transport import SimulatedNetwork
 from repro.nn.arena import ParameterArena
 from repro.nn.module import Module
 from repro.sim.trainer import TrainingWorker
+from repro.utils.dtypes import resolve_dtype
 from repro.utils.rng import SeedLike, as_generator, spawn_generators
 
 if TYPE_CHECKING:  # avoid a runtime cycle with repro.algorithms
@@ -49,6 +50,12 @@ class ExperimentConfig:
     #: are bit-identical either way; disable only to exercise the
     #: per-model fallback path.
     use_arena: bool = True
+    #: Numeric dtype of the training substrate: ``"float64"`` (default,
+    #: bit-identical to the historical trajectories) or ``"float32"``
+    #: (halves replica memory/traffic, matches the fp32 tensors the
+    #: measured systems exchange).  ``make_workers`` casts shards, models
+    #: and the arena accordingly.
+    dtype: str = "float64"
 
     def __post_init__(self) -> None:
         if self.rounds <= 0:
@@ -59,6 +66,7 @@ class ExperimentConfig:
             raise ValueError(f"lr_gamma must be positive, got {self.lr_gamma}")
         if self.lr_milestones is not None:
             self.lr_milestones = sorted(int(m) for m in self.lr_milestones)
+        self.dtype = resolve_dtype(self.dtype).name
 
 
 @dataclass
@@ -132,7 +140,14 @@ def make_workers(
     Unless ``config.use_arena`` is False, all replicas are adopted into
     one :class:`repro.nn.ParameterArena` (rows in rank order) so the
     algorithms take their vectorized fast paths.
+
+    ``config.dtype`` flows through here: shards are cast once so batches
+    arrive in the training dtype, and the arena is allocated in it
+    (adoption re-homogenizes model parameters, so even a factory that
+    ignores ``dtype`` lands on the configured precision when the arena
+    is on).  The float64 default makes every cast a no-op.
     """
+    dtype = resolve_dtype(config.dtype)
     streams = spawn_generators(config.seed, len(partitions))
     workers = []
     for rank, (shard, stream) in enumerate(zip(partitions, streams)):
@@ -140,7 +155,7 @@ def make_workers(
             TrainingWorker(
                 rank=rank,
                 model=model_factory(),
-                shard=shard,
+                shard=shard.astype(dtype),
                 batch_size=config.batch_size,
                 lr=config.lr,
                 momentum=config.momentum,
@@ -149,7 +164,9 @@ def make_workers(
             )
         )
     if config.use_arena:
-        ParameterArena.adopt_models([worker.model for worker in workers])
+        ParameterArena.adopt_models(
+            [worker.model for worker in workers], dtype=dtype
+        )
         for worker in workers:
             worker.optimizer.attach_flat_storage(
                 worker.model._flat_view, worker.model._flat_grad_view
@@ -197,6 +214,9 @@ def run_experiment(
     """
     if network is None:
         network = SimulatedNetwork(num_workers=len(partitions))
+    # Evaluation must run in the training dtype too (a float64 validation
+    # set would upcast every eval forward pass); no-op at float64.
+    validation = validation.astype(resolve_dtype(config.dtype))
     workers = make_workers(model_factory, partitions, config)
     algorithm.setup(workers, network, rng=as_generator(config.seed))
 

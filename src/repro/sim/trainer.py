@@ -111,6 +111,11 @@ class TrainingWorker:
     def model_size(self) -> int:
         return self.model.num_parameters()
 
+    @property
+    def dtype(self) -> np.dtype:
+        """Numeric dtype of the local replica (float32/float64)."""
+        return self.model.dtype
+
     # ------------------------------------------------------------------
     # evaluation
     # ------------------------------------------------------------------

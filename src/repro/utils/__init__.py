@@ -8,6 +8,7 @@ operate on a single ``RN`` vector, exactly as the paper's notation does).
 """
 
 from repro.utils.rng import as_generator, spawn_generators, derive_seed
+from repro.utils.dtypes import DEFAULT_DTYPE, SUPPORTED_DTYPES, resolve_dtype
 from repro.utils.flat import (
     flatten_arrays,
     unflatten_vector,
@@ -27,6 +28,9 @@ __all__ = [
     "as_generator",
     "spawn_generators",
     "derive_seed",
+    "DEFAULT_DTYPE",
+    "SUPPORTED_DTYPES",
+    "resolve_dtype",
     "flatten_arrays",
     "unflatten_vector",
     "ParamSpec",

@@ -40,16 +40,23 @@ def param_specs(arrays: Sequence[np.ndarray]) -> List[ParamSpec]:
 
 def flatten_arrays(
     arrays: Sequence[np.ndarray],
-    dtype=np.float64,
+    dtype=None,
     out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Pack arrays into one flat vector.
 
     Copy semantics: the result is always freshly written (callers may
     mutate it freely), but each input is copied exactly **once** — an
-    already-contiguous float64 input is written straight into the output
-    with no intermediate cast/copy; other dtypes and non-contiguous
-    layouts are cast during that single write where possible.
+    input already matching the output dtype and contiguous is written
+    straight into the output with no intermediate cast/copy; other dtypes
+    and non-contiguous layouts are cast during that single write where
+    possible.
+
+    ``dtype`` selects the output dtype.  ``None`` (default) keeps the
+    common floating dtype of the inputs (so float32 parameter lists pack
+    into a float32 vector) and falls back to float64 for empty or
+    non-float inputs — which for the historical all-float64 case is
+    exactly the old hardcoded behaviour.
 
     ``out`` optionally supplies a preallocated destination of the right
     total size and dtype (hot loops reuse one buffer instead of
@@ -57,6 +64,9 @@ def flatten_arrays(
     """
     arrays = [np.asarray(a) for a in arrays]
     total = sum(a.size for a in arrays)
+    if dtype is None:
+        common = np.result_type(*arrays) if arrays else np.dtype(np.float64)
+        dtype = common if common.kind == "f" else np.float64
     if out is None:
         out = np.empty(total, dtype=dtype)
     elif out.size != total:

@@ -49,6 +49,20 @@ class TestRoundTrip:
         with pytest.raises(ValueError):
             unflatten_vector(np.zeros(4), specs)
 
-    def test_dtype_is_float64(self):
-        flat = flatten_arrays([np.ones(3, dtype=np.float32)])
-        assert flat.dtype == np.float64
+    def test_dtype_default_semantics(self):
+        # Float inputs keep their common float dtype (the dtype-parametric
+        # substrate packs float32 models into float32 vectors) ...
+        assert flatten_arrays([np.ones(3, dtype=np.float32)]).dtype == np.float32
+        assert flatten_arrays([np.ones(3)]).dtype == np.float64
+        assert (
+            flatten_arrays(
+                [np.ones(3, dtype=np.float32), np.ones(2, dtype=np.float64)]
+            ).dtype
+            == np.float64
+        )
+        # ... while non-float inputs still promote to float64 and an
+        # explicit dtype always wins.
+        assert flatten_arrays([np.ones(3, dtype=np.int32)]).dtype == np.float64
+        assert (
+            flatten_arrays([np.ones(3)], dtype=np.float32).dtype == np.float32
+        )
