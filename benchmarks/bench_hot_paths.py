@@ -14,11 +14,16 @@ code path, preserved verbatim behind ``use_arena=False``):
   memory-traffic half of the float32 story;
 * ``compression_batch`` — per-round ``compress_matrix`` over the
   ``(n, N)`` replica matrix vs the per-worker ``compress`` loop, for the
-  shared-mask and top-k sparsifiers.
+  shared-mask and top-k sparsifiers;
+* ``local_step_batch`` — the :class:`repro.sim.ClusterTrainer` batched
+  local-SGD step (one stacked forward/backward/update for the whole
+  cluster) vs the per-worker ``local_step`` loop.
 
 The dtype and batched-compression sections always run at n ∈ {32, 128}
-(they are cheap and those are the tracked scale points); the round
-benchmarks follow ``--quick`` as before.
+(they are cheap and those are the tracked scale points); the batched
+local-step section always runs at n ∈ {32, 128, 1024} — 1024 is the
+acceptance scale point and CI fails if the batched path ever drops
+below 1× the loop; the round benchmarks follow ``--quick`` as before.
 
 Results (seconds per op, and speedups) are written to
 ``BENCH_hot_paths.json`` at the repo root so the perf trajectory is
@@ -48,7 +53,7 @@ from repro.compression import RandomMaskCompressor, TopKCompressor
 from repro.data import make_blobs, partition_iid
 from repro.network.transport import SimulatedNetwork
 from repro.nn import MLP
-from repro.sim import ExperimentConfig, make_workers
+from repro.sim import ClusterTrainer, ExperimentConfig, make_workers
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_hot_paths.json"
@@ -230,9 +235,84 @@ def bench_compression_batch(num_workers: int, repeats: int) -> dict:
     return results
 
 
+#: Workload of the batched local-step section: the CLI's standard MLP
+#: experiment shape (``repro.cli._build_workload``: 32 features, one
+#: hidden layer of 32, 10 classes — N = 1386).  At n = 1024 the whole
+#: replica matrix (~11 MB) stays cache-resident, so the section
+#: isolates the per-worker Python dispatch the batched engine removes.
+#: On the larger round-bench MLP (N = 7210) the same comparison is
+#: DRAM-bandwidth-bound and lands at 2-3×; that regime is what the
+#: ``saps_round``/``psgd_round`` sections exercise.
+LOCAL_STEP_FEATURES = 32
+LOCAL_STEP_HIDDEN = [32]
+
+
+def bench_local_step_batch(
+    num_workers: int, repeats: int, local_steps: int = 4
+) -> dict:
+    """Batched ClusterTrainer local steps vs the per-worker loop.
+
+    Times ``local_steps`` local SGD steps for the whole cluster on the
+    standard MLP workload: the loop path dispatches every layer's numpy
+    kernels once per worker per step; the batched path runs one stacked
+    forward/backward/update (bit-identical results — see
+    tests/test_cluster_trainer.py).  Both sides use independent,
+    identically-seeded worker sets so neither perturbs the other.
+    """
+    samples = 24 * num_workers
+    full = make_blobs(
+        num_samples=samples,
+        num_classes=NUM_CLASSES,
+        num_features=LOCAL_STEP_FEATURES,
+        rng=0,
+    )
+    partitions = partition_iid(full, num_workers, rng=0)
+    config = ExperimentConfig(rounds=1, batch_size=4, lr=0.05, seed=7)
+    factory = lambda: MLP(
+        LOCAL_STEP_FEATURES, LOCAL_STEP_HIDDEN, NUM_CLASSES, rng=0
+    )
+
+    loop_workers = make_workers(factory, partitions, config)
+    batched_workers = make_workers(factory, partitions, config)
+    trainer = ClusterTrainer.build(batched_workers)
+    assert trainer is not None, "MLP preset must support the batched path"
+
+    def loop():
+        for worker in loop_workers:
+            for _ in range(local_steps):
+                worker.local_step()
+
+    def batched():
+        trainer.batched_steps(local_steps)
+
+    loop()  # warm-up
+    batched()
+    results = {"local_steps": local_steps}
+    # Mean (not best-of), like _bench_rounds: the loop's n·k·layers small
+    # allocations make its cost jittery, and that jitter is part of what
+    # the batched path removes.
+    for label, fn in (("loop", loop), ("batched", batched)):
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            for _ in range(repeats):
+                fn()
+            results[label] = (time.perf_counter() - start) / repeats
+        finally:
+            gc.enable()
+    results["speedup"] = results["loop"] / results["batched"]
+    return results
+
+
 #: Scale points for the dtype / batched-compression sections (tracked in
 #: all modes — they are cheap even at n=128).
 DTYPE_BATCH_COUNTS = [32, 128]
+
+#: Scale points for the batched local-step section (tracked in all
+#: modes; n=1024 is the acceptance point for the ≥5× target and the
+#: regime where per-worker Python dispatch dominated).
+LOCAL_STEP_COUNTS = [32, 128, 1024]
 
 
 def run_suite(quick: bool, repeats: int) -> dict:
@@ -249,6 +329,7 @@ def run_suite(quick: bool, repeats: int) -> dict:
         "psgd_round": {},
         "dtype_round": {},
         "compression_batch": {},
+        "local_step_batch": {},
     }
     for n in worker_counts:
         print(f"n={n:4d}  flat round-trip ...", flush=True)
@@ -264,6 +345,13 @@ def run_suite(quick: bool, repeats: int) -> dict:
         )
         print(f"n={n:4d}  batched vs per-row compression ...", flush=True)
         report["compression_batch"][str(n)] = bench_compression_batch(n, repeats)
+    for n in LOCAL_STEP_COUNTS:
+        print(f"n={n:4d}  batched vs loop local step ...", flush=True)
+        # Mean-of-8 minimum: this section is cheap even at n=1024 and
+        # the extra samples keep the tracked speedup stable.
+        report["local_step_batch"][str(n)] = bench_local_step_batch(
+            n, max(repeats, 8)
+        )
     return report
 
 
@@ -300,6 +388,15 @@ def render(report: dict) -> str:
                 f"{'compress:' + scheme:>16} {n:>5} {row['per_row']:>12.3e} "
                 f"{row['batched']:>12.3e} {row['speedup']:>7.1f}x"
             )
+    lines.append(
+        f"{'bench':>16} {'n':>5} {'loop_s':>12} {'batched_s':>12} "
+        f"{'speedup':>8}"
+    )
+    for n, row in report["local_step_batch"].items():
+        lines.append(
+            f"{'local_step':>16} {n:>5} {row['loop']:>12.3e} "
+            f"{row['batched']:>12.3e} {row['speedup']:>7.1f}x"
+        )
     return "\n".join(lines)
 
 

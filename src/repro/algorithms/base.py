@@ -38,6 +38,11 @@ class DistributedAlgorithm:
         #: is a row of one arena (rank order); ``None`` selects the
         #: per-model fallback paths.  Set by :meth:`setup`.
         self.arena: Optional[ParameterArena] = None
+        #: Batched local-step engine (:class:`repro.sim.cluster.ClusterTrainer`)
+        #: when the arena-backed workers admit an exactly-equivalent
+        #: batched path; ``None`` keeps the per-worker compute loop.
+        #: Set by :meth:`setup`.
+        self.cluster_trainer = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -75,7 +80,15 @@ class DistributedAlgorithm:
             # One broadcast over the replica matrix replaces n-1
             # concat/split round-trips.
             self.arena.broadcast_row(0)
+            # Deferred import: repro.sim pulls in repro.algorithms at
+            # package-import time (via the comparison harness).
+            from repro.sim.cluster import ClusterTrainer
+
+            self.cluster_trainer = ClusterTrainer.build(
+                self.workers, arena=self.arena
+            )
         else:
+            self.cluster_trainer = None
             initial = self.workers[0].get_params()
             for worker in self.workers[1:]:
                 worker.set_params(initial)
@@ -101,6 +114,19 @@ class DistributedAlgorithm:
     @property
     def model_size(self) -> int:
         return self.workers[0].model_size
+
+    def _local_gradients_into_arena(self) -> np.ndarray:
+        """One sampled mini-batch gradient per worker, left in
+        ``arena.grads``; returns the per-worker losses (rank order).
+
+        Batched through the :class:`ClusterTrainer` when available —
+        bit-identical to the per-worker ``compute_gradient`` loop, which
+        remains the fallback.  Requires an arena."""
+        if self.cluster_trainer is not None:
+            return self.cluster_trainer.compute_gradients()
+        return np.array(
+            [worker.compute_gradient()[0] for worker in self.workers]
+        )
 
     def _apply_average_gradient(self, average: np.ndarray) -> None:
         """``xᵢ ← xᵢ − lrᵢ·ḡ`` on every worker (the all-reduce update).

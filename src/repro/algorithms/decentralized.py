@@ -47,11 +47,8 @@ class DPSGD(DistributedAlgorithm):
         return float(self.network.bandwidth[a, b])
 
     def run_round(self, round_index: int) -> float:
-        losses = []
         if self.arena is not None:
-            for worker in self.workers:
-                loss, _ = worker.compute_gradient()
-                losses.append(loss)
+            losses = self._local_gradients_into_arena()
             self._account_ring_traffic(round_index)
 
             # Vectorized ring mixing over the replica matrix.  The
@@ -73,6 +70,7 @@ class DPSGD(DistributedAlgorithm):
             for worker in self.workers:
                 worker.steps_taken += 1
         else:
+            losses = []
             gradients = []
             # Snapshots: a worker adopted into an arena the setup did not
             # detect (subset/reordered workers) would otherwise hand out
@@ -133,12 +131,18 @@ class DCDPSGD(DPSGD):
             self.replicas.append(owned)
 
     def run_round(self, round_index: int) -> float:
-        losses = []
-        gradients = []
-        for worker in self.workers:
-            loss, gradient = worker.compute_gradient()
-            losses.append(loss)
-            gradients.append(gradient)
+        if self.cluster_trainer is not None:
+            # Batched gradient phase; each worker's mini-batch gradient
+            # is its (live) row of the arena grad matrix.
+            losses = self.cluster_trainer.compute_gradients()
+            gradients = self.arena.grads
+        else:
+            losses = []
+            gradients = []
+            for worker in self.workers:
+                loss, gradient = worker.compute_gradient()
+                losses.append(loss)
+                gradients.append(gradient)
 
         # Phase 1: local updates from replicas; collect the model deltas
         # as one (n, N) matrix, then compress all rows in a single

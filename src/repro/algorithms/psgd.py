@@ -25,16 +25,15 @@ class PSGD(DistributedAlgorithm):
     name = "PSGD"
 
     def run_round(self, round_index: int) -> float:
-        losses = []
         if self.arena is not None:
-            # Gradients land in the arena's grad matrix as workers
-            # backprop; the all-reduce is one column-mean and the update
-            # one broadcasted row operation — no per-worker concat/split.
-            for worker in self.workers:
-                loss, _ = worker.compute_gradient()
-                losses.append(loss)
+            # Gradients land in the arena's grad matrix (in one batched
+            # forward/backward when the ClusterTrainer is attached); the
+            # all-reduce is one column-mean and the update one
+            # broadcasted row operation — no per-worker concat/split.
+            losses = self._local_gradients_into_arena()
             average = self.arena.grads.mean(axis=0)
         else:
+            losses = []
             gradients = []
             for worker in self.workers:
                 loss, gradient = worker.compute_gradient()
@@ -92,20 +91,19 @@ class TopKPSGD(DistributedAlgorithm):
             ]
 
     def run_round(self, round_index: int) -> float:
-        losses = []
         if self.arena is not None:
-            # Gradients accumulate into the arena's grad matrix as the
-            # workers backprop; compensation + top-k + residual update
-            # are then three matrix operations via compress_matrix.
-            for worker in self.workers:
-                loss, _ = worker.compute_gradient()
-                losses.append(loss)
+            # Gradients accumulate into the arena's grad matrix (batched
+            # when the ClusterTrainer is attached); compensation + top-k
+            # + residual update are then three matrix operations via
+            # compress_matrix.
+            losses = self._local_gradients_into_arena()
             batch, dense_sent = self._batch_feedback.compress(
                 self.arena.grads, round_index
             )
             payload_bytes = batch.row_bytes()
             average = dense_sent.mean(axis=0)
         else:
+            losses = []
             dense_contributions = []
             payload_bytes = []
             for worker, feedback in zip(self.workers, self._feedback):

@@ -153,15 +153,26 @@ class SAPSPSGD(DistributedAlgorithm):
             self.fallback_rounds.append(round_index)
 
         # Local SGD on every *online* worker (Algorithm 2, line 5).
-        losses = [
-            worker.local_step()
-            for worker, is_up in zip(self.workers, active)
-            if is_up
-            for _ in range(self.local_steps)
-        ]
-        if not losses:
+        active_ranks = np.flatnonzero(active)
+        if active_ranks.size == 0:
             self.network.finish_round()
             return float("nan")
+        if self.cluster_trainer is not None:
+            # Batched: each of the k local steps is one matrix-level
+            # forward/backward/update for all online workers at once —
+            # same per-worker RNG streams and (worker-major) loss order
+            # as the loop, bit-identical trajectories.
+            losses = self.cluster_trainer.batched_steps(
+                self.local_steps,
+                ranks=None if active.all() else active_ranks,
+            )
+        else:
+            losses = [
+                worker.local_step()
+                for worker, is_up in zip(self.workers, active)
+                if is_up
+                for _ in range(self.local_steps)
+            ]
 
         # Loss-model filtering first (same RNG consumption order as the
         # historical per-pair loop): surviving pairs actually exchange.

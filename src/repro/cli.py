@@ -59,7 +59,8 @@ ALGORITHM_FACTORIES = {
     "d-psgd": lambda args: DPSGD(),
     "dcd-psgd": lambda args: DCDPSGD(min(args.compression, 4.0)),
     "saps-psgd": lambda args: SAPSPSGD(
-        compression_ratio=args.compression, base_seed=args.seed
+        compression_ratio=args.compression, base_seed=args.seed,
+        local_steps=args.local_steps,
     ),
 }
 
@@ -102,6 +103,7 @@ def _config(args) -> ExperimentConfig:
         eval_every=args.eval_every,
         seed=args.seed,
         dtype=args.dtype,
+        local_steps=args.local_steps,
     )
 
 
@@ -135,6 +137,7 @@ def cmd_run(args) -> int:
             validation_samples=args.validation_samples,
             seed=args.seed,
             dtype=args.dtype,
+            local_steps=args.local_steps,
         )
         print(f"Preset: {args.preset} (fast={not args.full_model})")
     else:
@@ -168,6 +171,7 @@ def cmd_compare(args) -> int:
     results = run_comparison(
         partitions, validation, factory, _config(args),
         bandwidth=bandwidth, settings=settings,
+        local_steps=args.local_steps if args.local_steps > 1 else None,
     )
     rows = [
         [
@@ -300,6 +304,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="numeric dtype of the training substrate (float64 is "
             "bit-identical to historical runs; float32 halves memory "
             "traffic, matching the measured systems' fp32 tensors)",
+        )
+        p.add_argument(
+            "--local-steps",
+            type=int,
+            default=1,
+            help="local SGD steps per communication round (paper: 1); "
+            "applies to algorithms with a local phase (SAPS-PSGD here)",
         )
         p.add_argument("--non-iid", action="store_true")
         p.add_argument("--dirichlet-alpha", type=float, default=0.5)

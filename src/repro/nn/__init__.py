@@ -9,6 +9,13 @@ algorithms is the flat-vector API on :class:`Module`
 
 from repro.nn.module import Identity, Module, Parameter, Sequential
 from repro.nn.arena import ParameterArena, shared_arena
+from repro.nn.batched import (
+    BatchedCrossEntropyLoss,
+    BatchedLinear,
+    BatchedReLU,
+    BatchedSequential,
+    build_batched_model,
+)
 from repro.nn.layers import (
     AvgPool2d,
     BatchNorm2d,
@@ -47,6 +54,11 @@ __all__ = [
     "Parameter",
     "ParameterArena",
     "shared_arena",
+    "BatchedCrossEntropyLoss",
+    "BatchedLinear",
+    "BatchedReLU",
+    "BatchedSequential",
+    "build_batched_model",
     "Sequential",
     "Identity",
     "Linear",

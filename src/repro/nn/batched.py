@@ -1,0 +1,442 @@
+"""Batched kernels: one local-SGD step for *all* workers as matrix ops.
+
+The cluster state is the paper's matrix ``X ∈ R^{n×N}`` living in a
+:class:`~repro.nn.arena.ParameterArena`.  The per-worker training loop
+runs every layer's forward/backward once per worker — n numpy dispatches
+per layer per step, which at n ≥ 128 costs more than the math itself.
+This module stacks the worker axis into the kernels:
+
+* :class:`BatchedLinear` binds the ``(n, out, in)`` weight (and
+  ``(n, out)`` bias) **views** into the arena — each worker's weight is a
+  reshaped slice of its row, so the stack is zero-copy by construction —
+  and evaluates the per-worker affine maps as the single contraction
+  ``einsum('nbi,noi->nbo')``.  The contraction is realized with stacked
+  BLAS (:func:`numpy.matmul` over the leading worker axis) rather than a
+  C einsum loop: each worker slice then goes through the *same* GEMM
+  kernel the per-worker path uses, which keeps the batched step
+  bit-identical to the loop instead of merely close.
+* :class:`BatchedReLU` / :class:`BatchedTanh` / :class:`BatchedSigmoid` /
+  :class:`BatchedLeakyReLU` are the element-wise activations over
+  ``(n, B, d)`` stacks (element-wise ops are shape-blind, so parity with
+  the per-worker layers is exact).
+* :class:`BatchedCrossEntropyLoss` fuses softmax + NLL over
+  ``(n, B, C)`` logits and returns the ``(n,)`` vector of per-worker
+  mean losses plus the stacked gradient.
+* :func:`build_batched_model` walks an arena's adopted models and
+  compiles them into a :class:`BatchedSequential` when every layer has a
+  batched kernel (Linear chains with parameter-free activations — the
+  MLP / logistic-regression family).  Architectures without batched
+  kernels (convolutions, dropout, batch norm) return ``None`` and the
+  caller keeps the per-worker loop.
+
+Every kernel also exposes ``forward_vector(vector, inputs)``: a plain
+2-D forward pass with parameters sliced from one flat vector.  This is
+how the consensus (average) model is evaluated without copying it into a
+borrowed worker replica first.
+
+All gradient writes go straight into ``arena.grads`` through the bound
+views, so downstream consumers (all-reduce averaging, batched
+compression, error feedback) see exactly what the per-worker backward
+passes would have produced.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.activations import LeakyReLU, ReLU, Sigmoid, Tanh
+from repro.nn.arena import ParameterArena
+from repro.nn.layers import Linear
+from repro.nn.module import Identity, Module, Sequential
+from repro.utils.flat import ParamSpec
+
+
+class BatchedKernel:
+    """One layer evaluated for all workers at once.
+
+    ``forward``/``backward`` operate on ``(n, B, ...)`` stacks (or
+    ``(m, B, ...)`` when ``rows`` restricts the step to a subset of
+    worker rows); ``forward_vector`` is the single-model eval-mode pass
+    used for consensus evaluation.
+    """
+
+    def forward(
+        self, inputs: np.ndarray, rows=None
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(
+        self, grad_output: np.ndarray, rows=None, need_input_grad: bool = True
+    ) -> Optional[np.ndarray]:
+        """Consume the cached forward state, write parameter gradients,
+        and return the gradient wrt the stacked inputs — or ``None`` when
+        ``need_input_grad`` is false (the chain's first kernel: nobody
+        consumes its input gradient, so the work is skipped)."""
+        raise NotImplementedError
+
+    def forward_vector(self, vector: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class BatchedLinear(BatchedKernel):
+    """All workers' ``y = x Wᵀ + b`` as one stacked contraction.
+
+    ``weights``/``weight_grads`` are ``(n, out, in)`` strided views into
+    the arena's parameter/gradient matrices (zero-copy: a row slice of a
+    contiguous row reshapes without copying), so forward reads the live
+    replicas and backward writes straight into ``arena.grads``.
+    """
+
+    def __init__(
+        self,
+        arena: ParameterArena,
+        weight_spec: ParamSpec,
+        bias_spec: Optional[ParamSpec] = None,
+    ) -> None:
+        n = arena.num_workers
+        self.weight_spec = weight_spec
+        self.bias_spec = bias_spec
+        shape = (n,) + weight_spec.shape
+        self.weights = arena.data[:, weight_spec.offset : weight_spec.end].reshape(shape)
+        self.weight_grads = arena.grads[:, weight_spec.offset : weight_spec.end].reshape(
+            shape
+        )
+        self.biases: Optional[np.ndarray] = None
+        self.bias_grads: Optional[np.ndarray] = None
+        if bias_spec is not None:
+            self.biases = arena.data[:, bias_spec.offset : bias_spec.end]
+            self.bias_grads = arena.grads[:, bias_spec.offset : bias_spec.end]
+        self._inputs: Optional[np.ndarray] = None
+        self._used_weights: Optional[np.ndarray] = None
+
+    def forward(
+        self, inputs: np.ndarray, rows=None
+    ) -> np.ndarray:
+        # ``rows`` selects worker rows: None (all), a slice (zero-copy
+        # view — how the trainer blocks the cluster through cache), or
+        # an index array (gathers a copy — the participation-subset path).
+        weights = self.weights if rows is None else self.weights[rows]
+        self._inputs = inputs
+        self._used_weights = weights
+        # einsum('nbi,noi->nbo') via stacked BLAS: each worker slice is
+        # the same contiguous (B, in) @ (in, out) GEMM the per-worker
+        # layer runs, so results match it bit for bit.
+        output = np.matmul(inputs, weights.swapaxes(1, 2))
+        if self.biases is not None:
+            biases = self.biases if rows is None else self.biases[rows]
+            output += biases[:, None, :]
+        return output
+
+    def backward(
+        self, grad_output: np.ndarray, rows=None, need_input_grad: bool = True
+    ) -> Optional[np.ndarray]:
+        if self._inputs is None or self._used_weights is None:
+            raise RuntimeError("backward called before forward")
+        # einsum('nbo,nbi->noi'): the per-worker grad_outᵀ @ input GEMMs.
+        # Gradient views are *overwritten*, not accumulated: the kernel
+        # chain visits each parameter exactly once per step, so the write
+        # equals zero-then-accumulate while skipping the (n, N) zero fill
+        # and a weight-matrix-sized temporary — at n = 1024 that is most
+        # of the backward's memory traffic.  Slices write straight into
+        # the arena views; index arrays need the gather/scatter copy.
+        if rows is None or isinstance(rows, slice):
+            target = self.weight_grads if rows is None else self.weight_grads[rows]
+            np.matmul(grad_output.swapaxes(1, 2), self._inputs, out=target)
+        else:
+            self.weight_grads[rows] = np.matmul(
+                grad_output.swapaxes(1, 2), self._inputs
+            )
+        if self.bias_grads is not None:
+            if rows is None or isinstance(rows, slice):
+                target = self.bias_grads if rows is None else self.bias_grads[rows]
+                np.sum(grad_output, axis=1, out=target)
+            else:
+                self.bias_grads[rows] = grad_output.sum(axis=1)
+        if not need_input_grad:
+            return None
+        # einsum('nbo,noi->nbi'): grad wrt the stacked inputs.
+        return np.matmul(grad_output, self._used_weights)
+
+    def forward_vector(self, vector: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        spec = self.weight_spec
+        weight = vector[spec.offset : spec.end].reshape(spec.shape)
+        output = inputs @ weight.T
+        if self.bias_spec is not None:
+            output += vector[self.bias_spec.offset : self.bias_spec.end]
+        return output
+
+
+class BatchedReLU(BatchedKernel):
+    def __init__(self) -> None:
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(
+        self, inputs: np.ndarray, rows: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        self._mask = inputs > 0
+        return inputs * self._mask
+
+    def backward(
+        self, grad_output: np.ndarray, rows=None, need_input_grad: bool = True
+    ) -> Optional[np.ndarray]:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        if not need_input_grad:
+            return None
+        return grad_output * self._mask
+
+    def forward_vector(self, vector: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        return inputs * (inputs > 0)
+
+
+class BatchedLeakyReLU(BatchedKernel):
+    def __init__(self, negative_slope: float) -> None:
+        self.negative_slope = negative_slope
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(
+        self, inputs: np.ndarray, rows: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        self._mask = inputs > 0
+        return np.where(self._mask, inputs, self.negative_slope * inputs)
+
+    def backward(
+        self, grad_output: np.ndarray, rows=None, need_input_grad: bool = True
+    ) -> Optional[np.ndarray]:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        if not need_input_grad:
+            return None
+        return np.where(
+            self._mask, grad_output, self.negative_slope * grad_output
+        )
+
+    def forward_vector(self, vector: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        return np.where(inputs > 0, inputs, self.negative_slope * inputs)
+
+
+class BatchedTanh(BatchedKernel):
+    def __init__(self) -> None:
+        self._output: Optional[np.ndarray] = None
+
+    def forward(
+        self, inputs: np.ndarray, rows: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        self._output = np.tanh(inputs)
+        return self._output
+
+    def backward(
+        self, grad_output: np.ndarray, rows=None, need_input_grad: bool = True
+    ) -> Optional[np.ndarray]:
+        if self._output is None:
+            raise RuntimeError("backward called before forward")
+        if not need_input_grad:
+            return None
+        return grad_output * (1.0 - self._output**2)
+
+    def forward_vector(self, vector: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        return np.tanh(inputs)
+
+
+class BatchedSigmoid(BatchedKernel):
+    def __init__(self) -> None:
+        self._output: Optional[np.ndarray] = None
+
+    def forward(
+        self, inputs: np.ndarray, rows: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        self._output = 1.0 / (1.0 + np.exp(-inputs))
+        return self._output
+
+    def backward(
+        self, grad_output: np.ndarray, rows=None, need_input_grad: bool = True
+    ) -> Optional[np.ndarray]:
+        if self._output is None:
+            raise RuntimeError("backward called before forward")
+        if not need_input_grad:
+            return None
+        return grad_output * self._output * (1.0 - self._output)
+
+    def forward_vector(self, vector: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-inputs))
+
+
+class BatchedIdentity(BatchedKernel):
+    def forward(
+        self, inputs: np.ndarray, rows=None
+    ) -> np.ndarray:
+        return inputs
+
+    def backward(
+        self, grad_output: np.ndarray, rows=None, need_input_grad: bool = True
+    ) -> Optional[np.ndarray]:
+        return grad_output if need_input_grad else None
+
+    def forward_vector(self, vector: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        return inputs
+
+
+class BatchedCrossEntropyLoss:
+    """Softmax cross-entropy over ``(n, B, C)`` logits, per-worker mean.
+
+    Returns ``(losses, grad)`` where ``losses`` is the ``(n,)`` float64
+    vector of per-worker mean losses (each entry exactly the value the
+    per-worker :class:`~repro.nn.losses.CrossEntropyLoss` would return —
+    computed in the logits dtype, widened exactly) and ``grad`` already
+    carries the ``1/B`` factor, ready for the batched backward pass.
+    """
+
+    def __init__(self) -> None:
+        self._idx_cache: Optional[Tuple[int, int, np.ndarray, np.ndarray]] = None
+
+    def __call__(
+        self, logits: np.ndarray, labels: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        if logits.ndim != 3:
+            raise ValueError(
+                f"logits must be (workers, batch, classes), got {logits.shape}"
+            )
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.shape != logits.shape[:2]:
+            raise ValueError(
+                f"labels shape {labels.shape} does not match logits "
+                f"{logits.shape[:2]}"
+            )
+        num_workers, batch, _ = logits.shape
+        shifted = logits - np.max(logits, axis=2, keepdims=True)
+        exp = np.exp(shifted)
+        sum_exp = np.sum(exp, axis=2, keepdims=True)
+        cache = self._idx_cache
+        if cache is None or cache[0] != num_workers or cache[1] != batch:
+            cache = (
+                num_workers,
+                batch,
+                np.arange(num_workers)[:, None],
+                np.arange(batch)[None, :],
+            )
+            self._idx_cache = cache
+        worker_idx, batch_idx = cache[2], cache[3]
+        log_lik = shifted[worker_idx, batch_idx, labels] - np.log(sum_exp[..., 0])
+        losses = -log_lik.mean(axis=1)
+        grad = exp / sum_exp
+        grad[worker_idx, batch_idx, labels] -= 1.0
+        return losses.astype(np.float64), grad / batch
+
+
+class BatchedSequential:
+    """The whole cluster's forward/backward as one kernel chain."""
+
+    def __init__(self, kernels: Sequence[BatchedKernel], num_workers: int) -> None:
+        self.kernels: List[BatchedKernel] = list(kernels)
+        self.num_workers = num_workers
+
+    def forward(
+        self, inputs: np.ndarray, rows: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        out = inputs
+        for kernel in self.kernels:
+            out = kernel.forward(out, rows)
+        return out
+
+    def backward(
+        self, grad_output: np.ndarray, rows: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Backprop the stacked loss gradient, **overwriting** every
+        parameter's gradient view for the stepped rows (each parameter
+        receives exactly one write per pass, so no prior zeroing of the
+        grad rows is needed).  The first kernel's input gradient has no
+        consumer and is skipped; this method therefore returns ``None``.
+        """
+        grad = grad_output
+        for index in range(len(self.kernels) - 1, -1, -1):
+            grad = self.kernels[index].backward(
+                grad, rows, need_input_grad=index > 0
+            )
+        return grad
+
+    def forward_vector(self, vector: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        """Eval-mode forward of one flat model vector (no state mutated)."""
+        out = inputs
+        for kernel in self.kernels:
+            out = kernel.forward_vector(vector, out)
+        return out
+
+
+#: Activation layers with exact batched counterparts.  Dropout is
+#: deliberately absent (its per-layer RNG stream cannot be reproduced
+#: from a stacked pass), as is anything with parameters or running
+#: statistics.
+_ACTIVATION_KERNELS = {
+    ReLU: BatchedReLU,
+    Tanh: BatchedTanh,
+    Sigmoid: BatchedSigmoid,
+    Identity: BatchedIdentity,
+}
+
+
+def _layer_plan(model: Module) -> Optional[List[tuple]]:
+    """The batched-kernel recipe for ``model``, or ``None`` if any layer
+    (or the container itself) has no exact batched counterpart."""
+    if not isinstance(model, Sequential):
+        return None
+    # The batched pass replays layers strictly in sequence; a subclass
+    # overriding forward/backward (residual wiring, custom routing)
+    # would not be replayed faithfully.
+    if (
+        type(model).forward is not Sequential.forward
+        or type(model).backward is not Sequential.backward
+    ):
+        return None
+    if model._parameters:
+        return None
+    specs = iter(model.flat_specs())
+    plan: List[tuple] = []
+    try:
+        for layer in model.layers:
+            if type(layer) is Linear:
+                weight_spec = next(specs)
+                bias_spec = next(specs) if layer.bias is not None else None
+                plan.append(("linear", weight_spec, bias_spec))
+            elif type(layer) is LeakyReLU and not layer._parameters:
+                plan.append(("leaky_relu", layer.negative_slope))
+            elif type(layer) in _ACTIVATION_KERNELS and not layer._parameters:
+                plan.append((type(layer).__name__.lower(),))
+            else:
+                return None
+    except StopIteration:  # pragma: no cover - layout bug guard
+        return None
+    return plan
+
+
+def build_batched_model(arena: ParameterArena) -> Optional[BatchedSequential]:
+    """Compile the arena's adopted models into a :class:`BatchedSequential`.
+
+    Returns ``None`` when any row has no adopted model, when any layer
+    lacks an exact batched kernel, or when the adopted models do not all
+    share one layer plan — the caller then keeps the per-worker loop.
+    """
+    models = [arena.model(rank) for rank in range(arena.num_workers)]
+    if any(model is None for model in models):
+        return None
+    plans = [_layer_plan(model) for model in models]
+    reference = plans[0]
+    if reference is None or any(plan != reference for plan in plans[1:]):
+        return None
+    kernels: List[BatchedKernel] = []
+    for entry in reference:
+        if entry[0] == "linear":
+            kernels.append(BatchedLinear(arena, entry[1], entry[2]))
+        elif entry[0] == "leaky_relu":
+            kernels.append(BatchedLeakyReLU(entry[1]))
+        else:
+            kernels.append(
+                {
+                    "relu": BatchedReLU,
+                    "tanh": BatchedTanh,
+                    "sigmoid": BatchedSigmoid,
+                    "identity": BatchedIdentity,
+                }[entry[0]]()
+            )
+    return BatchedSequential(kernels, arena.num_workers)

@@ -142,6 +142,7 @@ def instantiate_preset(
     validation_samples: int = 200,
     seed: int = 0,
     dtype: str = "float64",
+    local_steps: int = 1,
 ) -> Tuple[List[Dataset], Dataset, Callable[[], Module], ExperimentConfig]:
     """Build (partitions, validation, model_factory, config) for a preset.
 
@@ -153,7 +154,8 @@ def instantiate_preset(
 
     ``dtype`` selects the training precision (``"float64"`` default,
     ``"float32"`` for the reduced-precision path); it flows into both the
-    model factory and ``ExperimentConfig.dtype``.
+    model factory and ``ExperimentConfig.dtype``.  ``local_steps`` lands
+    in ``ExperimentConfig.local_steps`` for factories with a local phase.
     """
     if name not in PRESETS:
         raise KeyError(f"unknown preset {name!r}; available: {available_presets()}")
@@ -201,5 +203,6 @@ def instantiate_preset(
         eval_every=max(rounds // 10, 1),
         seed=seed,
         dtype=dtype,
+        local_steps=local_steps,
     )
     return partitions, validation, model_factory, config

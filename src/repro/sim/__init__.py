@@ -1,6 +1,7 @@
 """Simulation engine: training workers, round engine, comparison harness."""
 
 from repro.sim.trainer import TrainingWorker
+from repro.sim.cluster import ClusterTrainer
 from repro.sim.engine import (
     ExperimentConfig,
     ExperimentResult,
@@ -35,6 +36,7 @@ from repro.sim.timing import (
 
 __all__ = [
     "TrainingWorker",
+    "ClusterTrainer",
     "ExperimentConfig",
     "ExperimentResult",
     "RoundRecord",

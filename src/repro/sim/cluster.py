@@ -1,0 +1,392 @@
+"""Cluster-level batched local SGD: one engine step for all workers.
+
+:class:`ClusterTrainer` replaces the hot-path Python loop of n
+independent :meth:`~repro.sim.trainer.TrainingWorker.local_step` calls
+with a handful of matrix operations over the shared
+:class:`~repro.nn.arena.ParameterArena`:
+
+1. **Stacked sampling** — one RNG draw per worker through the worker's
+   *own* :class:`~repro.data.loader.DataLoader` (stream-identical to the
+   per-worker loop, churn included), stacked into an ``(n, B, d)`` batch
+   tensor.
+2. **Batched forward/backward** — a :class:`~repro.nn.batched.BatchedSequential`
+   compiled over the arena's weight views (see :mod:`repro.nn.batched`),
+   so gradients land directly in ``arena.grads``.
+3. **Matrix optimizer update** — SGD with optional momentum / Nesterov /
+   weight decay applied to ``arena.data`` as whole-matrix operations,
+   with momentum state held as one ``(n, N)`` velocity matrix.
+
+The batched step is **bit-identical** to the per-worker loop (enforced
+by ``tests/test_cluster_trainer.py``): each worker's GEMMs run through
+the same BLAS kernels on the same operands, element-wise ops are
+shape-blind, and the optimizer algebra is replayed in the loop's
+evaluation order.  :meth:`batched_steps` amortizes ``k`` local steps
+between communication rounds; :meth:`compute_gradients` is the batched
+analogue of :meth:`~repro.sim.trainer.TrainingWorker.compute_gradient`
+for gradient-averaging algorithms; :meth:`evaluate_vector` forwards an
+arbitrary flat model (e.g. the consensus average) through the batched
+kernels without borrowing and restoring a worker replica.
+
+:meth:`ClusterTrainer.build` returns ``None`` whenever exact
+equivalence cannot be guaranteed — no shared arena, a layer without a
+batched kernel, heterogeneous batch sizes or optimizer hyperparameters,
+pre-existing per-worker momentum state — and callers keep the
+per-worker loop, which doubles as the equivalence oracle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+from repro.data.loader import DataLoader
+from repro.nn.arena import ParameterArena, shared_arena
+from repro.nn.batched import BatchedCrossEntropyLoss, build_batched_model
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.optim import SGD
+from repro.sim.trainer import TrainingWorker, evaluate_forward
+
+
+class ClusterTrainer:
+    """Batched local-step engine over one arena's worth of workers."""
+
+    def __init__(
+        self,
+        workers: Sequence[TrainingWorker],
+        arena: ParameterArena,
+        net,
+    ) -> None:
+        self.workers: List[TrainingWorker] = list(workers)
+        self.arena = arena
+        self.net = net
+        self.loss_fn = BatchedCrossEntropyLoss()
+        optimizer = self.workers[0].optimizer
+        self.momentum = optimizer.momentum
+        self.weight_decay = optimizer.weight_decay
+        self.nesterov = optimizer.nesterov
+        #: ``(n, N)`` momentum state, allocated on first momentum update.
+        self._velocity: Optional[np.ndarray] = None
+        #: Update scratch reused across steps (avoids a fresh
+        #: replica-matrix-sized temporary per step).
+        self._scratch: Optional[np.ndarray] = None
+        #: Persistent ``(n, B, d)`` / ``(n, B)`` batch buffers filled by
+        #: stacked sampling (no per-step stack of n small arrays).
+        self._feature_buf: Optional[np.ndarray] = None
+        self._label_buf: Optional[np.ndarray] = None
+        #: Hoisted per-worker sampler bindings
+        #: ``(rng.choice, features, labels, len, batch_size)`` — the
+        #: sampling loop runs n times per step, so attribute chains are
+        #: resolved once here.  Sound because a worker's loader keeps its
+        #: generator and dataset for the lifetime of a run.
+        self._samplers = [
+            (
+                worker.loader._rng.choice,
+                worker.loader.dataset.features,
+                worker.loader.dataset.labels,
+                len(worker.loader.dataset),
+                worker.loader.batch_size,
+            )
+            for worker in self.workers
+        ]
+        # Bind every parameter's grad to its arena view once: batched
+        # backward writes into arena.grads, and the per-parameter API
+        # (get_flat_grads, optimizer loops) must see those writes instead
+        # of treating the segments as never-touched.
+        for worker in self.workers:
+            worker.model.zero_grad()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        workers: Sequence[TrainingWorker],
+        arena: Optional[ParameterArena] = None,
+    ) -> Optional["ClusterTrainer"]:
+        """A trainer for ``workers``, or ``None`` when the batched path
+        cannot reproduce the per-worker loop exactly."""
+        workers = list(workers)
+        if not workers:
+            return None
+        if arena is None:
+            arena = shared_arena([worker.model for worker in workers])
+        if arena is None or arena.num_workers != len(workers):
+            return None
+        optimizers = [worker.optimizer for worker in workers]
+        if any(type(optimizer) is not SGD for optimizer in optimizers):
+            return None
+        reference = optimizers[0]
+        hyper = (reference.momentum, reference.weight_decay, reference.nesterov)
+        if any(
+            (opt.momentum, opt.weight_decay, opt.nesterov) != hyper
+            for opt in optimizers[1:]
+        ):
+            return None
+        # Per-parameter momentum state accumulated outside the trainer
+        # would silently diverge from the (n, N) velocity matrix.
+        if any(
+            velocity is not None
+            for optimizer in optimizers
+            for velocity in optimizer._velocities
+        ):
+            return None
+        if any(type(worker.loss_fn) is not CrossEntropyLoss for worker in workers):
+            return None
+        loaders = [worker.loader for worker in workers]
+        if any(type(loader) is not DataLoader for loader in loaders):
+            return None
+        # Stacked sampling replays loader.sample's exact draw per worker
+        # but gathers into one buffer, so transforms (which see per-batch
+        # arrays) are out of scope.
+        if any(loader.transform is not None for loader in loaders):
+            return None
+        batch_size = loaders[0].batch_size
+        if any(loader.batch_size != batch_size for loader in loaders):
+            return None
+        sample_shape = loaders[0].dataset.features.shape[1:]
+        if len(sample_shape) != 1:
+            return None
+        feature_dtype = loaders[0].dataset.features.dtype
+        label_dtype = loaders[0].dataset.labels.dtype
+        if any(
+            loader.dataset.features.shape[1:] != sample_shape
+            or loader.dataset.features.dtype != feature_dtype
+            or loader.dataset.labels.dtype != label_dtype
+            for loader in loaders
+        ):
+            return None
+        net = build_batched_model(arena)
+        if net is None:
+            return None
+        return cls(workers, arena, net)
+
+    # ------------------------------------------------------------------
+    # batched local computation
+    # ------------------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        return len(self.workers)
+
+    def _normalize_ranks(self, ranks) -> Optional[np.ndarray]:
+        """Row-index array for a worker subset; ``None`` means all."""
+        if ranks is None:
+            return None
+        rows = np.asarray(ranks, dtype=np.intp).ravel()
+        if rows.size == 0:
+            raise ValueError("ranks must name at least one worker")
+        if np.unique(rows).size != rows.size:
+            raise ValueError("ranks must be unique")
+        if rows.size == self.num_workers and np.array_equal(
+            rows, np.arange(self.num_workers)
+        ):
+            return None
+        return rows
+
+    def _stacked_batch(self, rank_list: Sequence[int]):
+        """One mini-batch per worker, stacked along a new worker axis.
+
+        Each worker's indices come from its *own* loader RNG via the
+        same ``choice`` call :meth:`DataLoader.sample` makes (stream
+        identity, churn included); the features/labels are gathered
+        straight into persistent ``(n, B, d)`` buffers instead of
+        stacking n freshly allocated batch arrays."""
+        count = len(rank_list)
+        if self._feature_buf is None:
+            loader = self.workers[0].loader
+            dataset = loader.dataset
+            self._feature_buf = np.empty(
+                (self.num_workers, loader.batch_size) + dataset.features.shape[1:],
+                dtype=dataset.features.dtype,
+            )
+            self._label_buf = np.empty(
+                (self.num_workers, loader.batch_size), dtype=dataset.labels.dtype
+            )
+        features = self._feature_buf[:count]
+        labels = self._label_buf[:count]
+        samplers = self._samplers
+        for position, rank in enumerate(rank_list):
+            choice, shard_features, shard_labels, length, batch = samplers[rank]
+            indices = choice(length, size=batch, replace=False)
+            shard_features.take(indices, axis=0, out=features[position])
+            shard_labels.take(indices, axis=0, out=labels[position])
+        return features, labels
+
+    #: Target resident size of one execution block (rows × model bytes):
+    #: big enough to amortize kernel dispatch, small enough that a
+    #: block's weights/grads/activations stay cache-resident (read once
+    #: for forward + backward + update) instead of streaming the full
+    #: replica matrix through DRAM several times per step.  16 MB was
+    #: the empirical sweet spot at n = 1024 on the bench MLP.
+    BLOCK_BYTES = 16 << 20
+
+    def _block_rows(self) -> int:
+        row_bytes = max(self.arena.model_size * self.arena.dtype.itemsize, 1)
+        return max(1, self.BLOCK_BYTES // row_bytes)
+
+    def _forward_backward(self, row_sel, rank_list: Sequence[int]) -> np.ndarray:
+        """Sample + forward + backward for one row selection; gradients
+        land in ``arena.grads`` (overwritten — no zero fill needed, each
+        parameter is written exactly once per pass)."""
+        features, labels = self._stacked_batch(rank_list)
+        logits = self.net.forward(features, row_sel)
+        losses, grad = self.loss_fn(logits, labels)
+        self.net.backward(grad, row_sel)
+        return losses
+
+    def _run_pass(self, ranks, apply_update: bool) -> np.ndarray:
+        """One sampled forward/backward pass for all (or ``ranks``)
+        workers, optionally followed by the optimizer update.
+
+        The full-cluster path executes in worker blocks
+        (:attr:`BLOCK_BYTES`) purely for cache locality — workers are
+        independent, so blocking changes no values.  Returns the
+        per-worker losses and records each worker's ``last_loss`` (and
+        ``steps_taken`` when updating), mirroring the per-worker loop.
+        """
+        rows = self._normalize_ranks(ranks)
+        if rows is None:
+            total = self.num_workers
+            losses = np.empty(total, dtype=np.float64)
+            block = self._block_rows()
+            for start in range(0, total, block):
+                stop = min(start + block, total)
+                selection = slice(start, stop)
+                losses[selection] = self._forward_backward(
+                    selection, range(start, stop)
+                )
+                if apply_update:
+                    self._apply_update(selection)
+            step_workers = self.workers
+        else:
+            rank_list = rows.tolist()
+            losses = self._forward_backward(rows, rank_list)
+            if apply_update:
+                self._apply_update(rows)
+            step_workers = [self.workers[rank] for rank in rank_list]
+        # tolist() hands back exact python floats in one C pass (same
+        # values worker.local_step would have returned).
+        for worker, loss in zip(step_workers, losses.tolist()):
+            if apply_update:
+                worker.steps_taken += 1
+            worker.last_loss = loss
+        return losses
+
+    def step(self, ranks=None) -> np.ndarray:
+        """One mini-batch SGD step for all (or ``ranks``) workers at once.
+
+        Returns the per-worker losses, in ``ranks`` order (float64, each
+        entry exactly what ``worker.local_step()`` would have returned).
+        """
+        return self._run_pass(ranks, apply_update=True)
+
+    def batched_steps(self, k: int, ranks=None) -> np.ndarray:
+        """``k`` local steps amortized between communication rounds.
+
+        Returns a ``(len(ranks), k)`` loss matrix whose C-order flatten
+        is worker-major — the exact order the per-worker
+        ``for worker: for step:`` loop emits, so round-loss averages
+        match the loop bit for bit.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        rows = self._normalize_ranks(ranks)
+        count = self.num_workers if rows is None else rows.size
+        losses = np.empty((count, k), dtype=np.float64)
+        for step_index in range(k):
+            losses[:, step_index] = self.step(rows)
+        return losses
+
+    def compute_gradients(self, ranks=None) -> np.ndarray:
+        """Batched :meth:`TrainingWorker.compute_gradient`: sample one
+        mini-batch per worker and leave the gradients in ``arena.grads``
+        (rows of workers outside ``ranks`` keep their previous content).
+        Returns the per-worker losses without applying any update."""
+        return self._run_pass(ranks, apply_update=False)
+
+    # ------------------------------------------------------------------
+    # the matrix optimizer update
+    # ------------------------------------------------------------------
+    def _scratch_rows(self, count: int) -> np.ndarray:
+        """Persistent ``(count, N)`` update scratch (grown on demand)."""
+        if self._scratch is None or self._scratch.shape[0] < count:
+            self._scratch = np.empty(
+                (count, self.arena.model_size), dtype=self.arena.dtype
+            )
+        return self._scratch[:count]
+
+    def _apply_update(self, rows) -> None:
+        """SGD/momentum/weight-decay over whole arena rows.
+
+        ``rows`` is ``None``, a slice (in-place on arena views) or an
+        index array (gather/scatter).  Replays the per-parameter loop's
+        evaluation order elementwise (decay into the gradient, velocity
+        update, scaled subtraction), so the result is bit-identical to n
+        independent optimizer steps.
+        """
+        arena = self.arena
+        is_view = rows is None or isinstance(rows, slice)
+        if rows is None:
+            params = arena.data
+            grads = arena.grads
+            step_workers = self.workers
+        elif is_view:
+            params = arena.data[rows]
+            grads = arena.grads[rows]
+            step_workers = self.workers[rows]
+        else:
+            params = arena.data[rows]
+            grads = arena.grads[rows]
+            step_workers = [self.workers[rank] for rank in rows]
+        scratch = self._scratch_rows(params.shape[0])
+        rates = np.array(
+            [worker.optimizer.lr for worker in step_workers], dtype=arena.dtype
+        )[:, None]
+        if self.weight_decay:
+            # wd·X + G == G + wd·X exactly (IEEE addition commutes), so
+            # the decayed gradient can build in the scratch buffer.
+            np.multiply(params, self.weight_decay, out=scratch)
+            scratch += grads
+            grads = scratch
+        if self.momentum:
+            if self._velocity is None:
+                self._velocity = np.zeros_like(arena.data)
+            velocity = self._velocity[rows] if rows is not None else self._velocity
+            velocity *= self.momentum
+            velocity += grads
+            if not is_view:
+                self._velocity[rows] = velocity
+            if self.nesterov:
+                update = grads + self.momentum * velocity
+            else:
+                update = velocity
+        else:
+            update = grads
+        np.multiply(update, rates, out=scratch)
+        params -= scratch
+        if not is_view:
+            arena.data[rows] = params
+
+    # ------------------------------------------------------------------
+    # consensus evaluation
+    # ------------------------------------------------------------------
+    def evaluate_vector(
+        self, vector: np.ndarray, dataset: Dataset, batch_size: int = 256
+    ) -> tuple:
+        """``(mean_loss, top1_accuracy)`` of one flat model vector.
+
+        Forwards ``vector`` directly through the batched kernels' eval
+        path — no worker replica is borrowed, mutated or restored.  Runs
+        the same shared evaluation loop as
+        :meth:`TrainingWorker.evaluate` (:func:`evaluate_forward`), cast
+        once against the vector dtype.
+        """
+        vector = np.asarray(vector)
+        return evaluate_forward(
+            lambda features: self.net.forward_vector(vector, features),
+            dataset,
+            vector.dtype,
+            batch_size,
+        )

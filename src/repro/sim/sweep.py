@@ -10,7 +10,7 @@ per-cell seeds and a tidy list-of-dicts result that renders directly via
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -67,13 +67,27 @@ def run_sweep(
     model_factory: Callable[[], Any],
     config: ExperimentConfig,
     bandwidth: Optional[np.ndarray] = None,
+    dtype: Optional[str] = None,
+    local_steps: Optional[int] = None,
 ) -> List[SweepCell]:
     """Run ``algorithm_factory(**params)`` for every grid point.
 
     Every cell gets a fresh network (independent accounting) and the
     shared config; determinism comes from the config seed (identical
     across cells so outcomes are comparable).
+
+    ``dtype`` / ``local_steps`` override the corresponding
+    :class:`ExperimentConfig` fields for the whole sweep (the passed
+    config is not mutated) — the sweep-level knobs for the float32
+    substrate and the amortized local-step schedule.
     """
+    overrides = {}
+    if dtype is not None:
+        overrides["dtype"] = dtype
+    if local_steps is not None:
+        overrides["local_steps"] = local_steps
+    if overrides:
+        config = replace(config, **overrides)
     cells: List[SweepCell] = []
     for params in param_grid:
         network = SimulatedNetwork(

@@ -9,7 +9,7 @@ stepping, like PSGD).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -19,6 +19,40 @@ from repro.nn.losses import CrossEntropyLoss, accuracy
 from repro.nn.module import Module
 from repro.nn.optim import SGD
 from repro.utils.rng import SeedLike, as_generator
+
+
+def evaluate_forward(
+    forward: Callable[[np.ndarray], np.ndarray],
+    dataset: Dataset,
+    dtype,
+    batch_size: int = 256,
+) -> Tuple[float, float]:
+    """``(mean_loss, top1_accuracy)`` of a logits function over a dataset.
+
+    The one evaluation loop shared by :meth:`TrainingWorker.evaluate`
+    and the batched consensus path
+    (:meth:`repro.sim.cluster.ClusterTrainer.evaluate_vector`) — both
+    must stay numerically identical, so the batching, loss accumulation
+    and accuracy count live here once.  The dataset is cast once against
+    ``dtype`` up front (a float64 validation set fed to a float32 model
+    used to upcast every forward pass to a throwaway float64
+    computation, batch by batch; no-op when the dtypes agree).
+    """
+    if dataset.features.dtype != dtype:
+        dataset = dataset.astype(dtype)
+    loss_fn = CrossEntropyLoss()
+    loss_sum = 0.0
+    correct = 0
+    total = 0
+    for start in range(0, len(dataset), batch_size):
+        features = dataset.features[start : start + batch_size]
+        labels = dataset.labels[start : start + batch_size]
+        logits = forward(features)
+        loss, _ = loss_fn(logits, labels)
+        loss_sum += loss * len(labels)
+        correct += int(np.sum(np.argmax(logits, axis=1) == labels))
+        total += len(labels)
+    return float(loss_sum / total), correct / total
 
 
 class TrainingWorker:
@@ -121,18 +155,11 @@ class TrainingWorker:
     # ------------------------------------------------------------------
     def evaluate(self, dataset: Dataset, batch_size: int = 256) -> Tuple[float, float]:
         """``(mean_loss, top1_accuracy)`` of the current model on a
-        dataset, in eval mode."""
+        dataset, in eval mode (cast once against the model dtype — see
+        :func:`evaluate_forward`)."""
         self.model.eval()
-        loss_sum = 0.0
-        correct = 0
-        total = 0
-        for start in range(0, len(dataset), batch_size):
-            features = dataset.features[start : start + batch_size]
-            labels = dataset.labels[start : start + batch_size]
-            logits = self.model.forward(features)
-            loss, _ = self.loss_fn(logits, labels)
-            loss_sum += loss * len(labels)
-            correct += int(np.sum(np.argmax(logits, axis=1) == labels))
-            total += len(labels)
+        result = evaluate_forward(
+            self.model.forward, dataset, self.model.dtype, batch_size
+        )
         self.model.train()
-        return float(loss_sum / total), correct / total
+        return result
