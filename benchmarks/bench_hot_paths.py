@@ -17,13 +17,17 @@ code path, preserved verbatim behind ``use_arena=False``):
   shared-mask and top-k sparsifiers;
 * ``local_step_batch`` — the :class:`repro.sim.ClusterTrainer` batched
   local-SGD step (one stacked forward/backward/update for the whole
-  cluster) vs the per-worker ``local_step`` loop.
+  cluster) vs the per-worker ``local_step`` loop;
+* ``conv_step_batch`` — the same comparison on the conv path (the
+  TinyCNN preset stand-in: Conv/pool/Linear over synthetic images),
+  exercising the batched im2col + stacked-GEMM conv kernels.
 
 The dtype and batched-compression sections always run at n ∈ {32, 128}
 (they are cheap and those are the tracked scale points); the batched
 local-step section always runs at n ∈ {32, 128, 1024} — 1024 is the
-acceptance scale point and CI fails if the batched path ever drops
-below 1× the loop; the round benchmarks follow ``--quick`` as before.
+acceptance scale point — and the batched conv-step section at
+n ∈ {32, 128}; CI fails if either batched path ever drops below 1× the
+loop; the round benchmarks follow ``--quick`` as before.
 
 Results (seconds per op, and speedups) are written to
 ``BENCH_hot_paths.json`` at the repo root so the perf trajectory is
@@ -50,9 +54,9 @@ import numpy as np
 from repro.algorithms.psgd import PSGD
 from repro.algorithms.saps_psgd import SAPSPSGD
 from repro.compression import RandomMaskCompressor, TopKCompressor
-from repro.data import make_blobs, partition_iid
+from repro.data import make_blobs, make_synthetic_images, partition_iid
 from repro.network.transport import SimulatedNetwork
-from repro.nn import MLP
+from repro.nn import MLP, TinyCNN
 from repro.sim import ClusterTrainer, ExperimentConfig, make_workers
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -247,35 +251,24 @@ LOCAL_STEP_FEATURES = 32
 LOCAL_STEP_HIDDEN = [32]
 
 
-def bench_local_step_batch(
-    num_workers: int, repeats: int, local_steps: int = 4
+def _time_loop_vs_batched(
+    partitions, factory, local_steps: int, repeats: int
 ) -> dict:
-    """Batched ClusterTrainer local steps vs the per-worker loop.
+    """Shared timing scaffold of the batched-step sections.
 
-    Times ``local_steps`` local SGD steps for the whole cluster on the
-    standard MLP workload: the loop path dispatches every layer's numpy
-    kernels once per worker per step; the batched path runs one stacked
-    forward/backward/update (bit-identical results — see
-    tests/test_cluster_trainer.py).  Both sides use independent,
-    identically-seeded worker sets so neither perturbs the other.
+    Builds two independent, identically-seeded worker sets (so neither
+    perturbs the other), times ``local_steps`` local SGD steps as the
+    per-worker loop vs one :class:`ClusterTrainer` batched pass, and
+    reports mean seconds per pass.  Mean (not best-of), like
+    ``_bench_rounds``: the loop's n·k·layers small allocations make its
+    cost jittery, and that jitter is part of what the batched path
+    removes.
     """
-    samples = 24 * num_workers
-    full = make_blobs(
-        num_samples=samples,
-        num_classes=NUM_CLASSES,
-        num_features=LOCAL_STEP_FEATURES,
-        rng=0,
-    )
-    partitions = partition_iid(full, num_workers, rng=0)
     config = ExperimentConfig(rounds=1, batch_size=4, lr=0.05, seed=7)
-    factory = lambda: MLP(
-        LOCAL_STEP_FEATURES, LOCAL_STEP_HIDDEN, NUM_CLASSES, rng=0
-    )
-
     loop_workers = make_workers(factory, partitions, config)
     batched_workers = make_workers(factory, partitions, config)
     trainer = ClusterTrainer.build(batched_workers)
-    assert trainer is not None, "MLP preset must support the batched path"
+    assert trainer is not None, "workload must support the batched path"
 
     def loop():
         for worker in loop_workers:
@@ -288,9 +281,6 @@ def bench_local_step_batch(
     loop()  # warm-up
     batched()
     results = {"local_steps": local_steps}
-    # Mean (not best-of), like _bench_rounds: the loop's n·k·layers small
-    # allocations make its cost jittery, and that jitter is part of what
-    # the batched path removes.
     for label, fn in (("loop", loop), ("batched", batched)):
         gc.collect()
         gc.disable()
@@ -305,9 +295,69 @@ def bench_local_step_batch(
     return results
 
 
+def bench_local_step_batch(
+    num_workers: int, repeats: int, local_steps: int = 4
+) -> dict:
+    """Batched ClusterTrainer local steps vs the per-worker loop.
+
+    Times ``local_steps`` local SGD steps for the whole cluster on the
+    standard MLP workload: the loop path dispatches every layer's numpy
+    kernels once per worker per step; the batched path runs one stacked
+    forward/backward/update (bit-identical results — see
+    tests/test_cluster_trainer.py).
+    """
+    full = make_blobs(
+        num_samples=24 * num_workers,
+        num_classes=NUM_CLASSES,
+        num_features=LOCAL_STEP_FEATURES,
+        rng=0,
+    )
+    partitions = partition_iid(full, num_workers, rng=0)
+    factory = lambda: MLP(
+        LOCAL_STEP_FEATURES, LOCAL_STEP_HIDDEN, NUM_CLASSES, rng=0
+    )
+    return _time_loop_vs_batched(partitions, factory, local_steps, repeats)
+
+
+#: Conv workload of the batched conv-step section: the TinyCNN preset
+#: stand-in (8×8 single-channel synthetic images, width 8 — N = 1418,
+#: the fast flavour of the mnist-cnn preset).  The loop path pays n
+#: Python dispatches per layer per step *plus* n im2col rearrangements;
+#: the batched path runs one stacked im2col per conv layer and per-worker
+#: GEMMs over the arena views.
+CONV_CHANNELS = 1
+CONV_IMAGE_SIZE = 8
+CONV_WIDTH = 8
+
+
+def bench_conv_step_batch(
+    num_workers: int, repeats: int, local_steps: int = 2
+) -> dict:
+    """Batched ClusterTrainer conv local steps vs the per-worker loop.
+
+    Same protocol as :func:`bench_local_step_batch`, on the TinyCNN
+    conv workload (bit-identical trajectories — see
+    tests/test_cluster_trainer.py ``TestConvEquivalence``).
+    """
+    full = make_synthetic_images(
+        16 * num_workers, num_classes=NUM_CLASSES, channels=CONV_CHANNELS,
+        size=CONV_IMAGE_SIZE, noise=0.3, rng=0,
+    )
+    partitions = partition_iid(full, num_workers, rng=0)
+    factory = lambda: TinyCNN(
+        in_channels=CONV_CHANNELS, image_size=CONV_IMAGE_SIZE,
+        num_classes=NUM_CLASSES, width=CONV_WIDTH, rng=0,
+    )
+    return _time_loop_vs_batched(partitions, factory, local_steps, repeats)
+
+
 #: Scale points for the dtype / batched-compression sections (tracked in
 #: all modes — they are cheap even at n=128).
 DTYPE_BATCH_COUNTS = [32, 128]
+
+#: Scale points for the batched conv-step section (tracked in all modes;
+#: the ISSUE's acceptance points for the conv kernels).
+CONV_STEP_COUNTS = [32, 128]
 
 #: Scale points for the batched local-step section (tracked in all
 #: modes; n=1024 is the acceptance point for the ≥5× target and the
@@ -330,6 +380,7 @@ def run_suite(quick: bool, repeats: int) -> dict:
         "dtype_round": {},
         "compression_batch": {},
         "local_step_batch": {},
+        "conv_step_batch": {},
     }
     for n in worker_counts:
         print(f"n={n:4d}  flat round-trip ...", flush=True)
@@ -350,6 +401,11 @@ def run_suite(quick: bool, repeats: int) -> dict:
         # Mean-of-8 minimum: this section is cheap even at n=1024 and
         # the extra samples keep the tracked speedup stable.
         report["local_step_batch"][str(n)] = bench_local_step_batch(
+            n, max(repeats, 8)
+        )
+    for n in CONV_STEP_COUNTS:
+        print(f"n={n:4d}  batched vs loop conv step ...", flush=True)
+        report["conv_step_batch"][str(n)] = bench_conv_step_batch(
             n, max(repeats, 8)
         )
     return report
@@ -395,6 +451,11 @@ def render(report: dict) -> str:
     for n, row in report["local_step_batch"].items():
         lines.append(
             f"{'local_step':>16} {n:>5} {row['loop']:>12.3e} "
+            f"{row['batched']:>12.3e} {row['speedup']:>7.1f}x"
+        )
+    for n, row in report["conv_step_batch"].items():
+        lines.append(
+            f"{'conv_step':>16} {n:>5} {row['loop']:>12.3e} "
             f"{row['batched']:>12.3e} {row['speedup']:>7.1f}x"
         )
     return "\n".join(lines)

@@ -19,25 +19,27 @@ fi
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
     python -m benchmarks.bench_hot_paths $MODE "$@"
 
-# Regression gate: the batched ClusterTrainer local step must never be
-# slower than the per-worker loop at any tracked scale point.
+# Regression gate: the batched ClusterTrainer step (MLP and conv
+# workloads) must never be slower than the per-worker loop at any
+# tracked scale point.
 python - <<'PY'
 import json
 import sys
 
 report = json.load(open("BENCH_hot_paths.json"))
-section = report.get("local_step_batch", {})
-if not section:
-    sys.exit("BENCH_hot_paths.json has no local_step_batch section")
-bad = {
-    n: round(row["speedup"], 3)
-    for n, row in section.items()
-    if row["speedup"] < 1.0
-}
-if bad:
-    sys.exit(f"batched local step regressed below 1x the loop: {bad}")
-print(
-    "local_step_batch gate ok:",
-    {n: f"{row['speedup']:.1f}x" for n, row in section.items()},
-)
+for name in ("local_step_batch", "conv_step_batch"):
+    section = report.get(name, {})
+    if not section:
+        sys.exit(f"BENCH_hot_paths.json has no {name} section")
+    bad = {
+        n: round(row["speedup"], 3)
+        for n, row in section.items()
+        if row["speedup"] < 1.0
+    }
+    if bad:
+        sys.exit(f"{name} regressed below 1x the loop: {bad}")
+    print(
+        f"{name} gate ok:",
+        {n: f"{row['speedup']:.1f}x" for n, row in section.items()},
+    )
 PY

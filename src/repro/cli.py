@@ -326,7 +326,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--preset",
         choices=["mnist-cnn", "cifar10-cnn", "resnet-20"],
         default=None,
-        help="use a Table II preset workload instead of blobs",
+        help=(
+            "use a Table II preset workload instead of blobs (the conv "
+            "presets ride the batched cluster engine, loop-free)"
+        ),
     )
     run_p.add_argument(
         "--full-model",

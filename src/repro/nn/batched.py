@@ -15,6 +15,20 @@ This module stacks the worker axis into the kernels:
   C einsum loop: each worker slice then goes through the *same* GEMM
   kernel the per-worker path uses, which keeps the batched step
   bit-identical to the loop instead of merely close.
+* :class:`BatchedConv2d` stacks the im2col transform **once per cluster
+  block** (workers folded into the image axis — one gather instead of n)
+  and then runs the per-worker GEMMs over the ``(n, out_c, in_c·kh·kw)``
+  weight **views** into the arena, exactly the operands
+  :class:`~repro.nn.layers.Conv2d`'s im2col path feeds its per-worker
+  GEMM — so the batched convolution is bit-identical to the loop.
+* :class:`BatchedMaxPool2d` / :class:`BatchedAvgPool2d` /
+  :class:`BatchedGlobalAvgPool2d` / :class:`BatchedFlatten` replay the
+  pooling/reshape layers over the stacked worker axis (pure
+  gather/reduce ops — shape-blind, parity exact).
+* :class:`BatchedDropout` replays each worker's *own* mask RNG stream
+  (one small draw per worker, stacked) so inverted dropout stays
+  bit-identical to the loop; its ``forward_vector`` is the eval-mode
+  identity, consistent with :meth:`TrainingWorker.evaluate`.
 * :class:`BatchedReLU` / :class:`BatchedTanh` / :class:`BatchedSigmoid` /
   :class:`BatchedLeakyReLU` are the element-wise activations over
   ``(n, B, d)`` stacks (element-wise ops are shape-blind, so parity with
@@ -24,10 +38,12 @@ This module stacks the worker axis into the kernels:
   mean losses plus the stacked gradient.
 * :func:`build_batched_model` walks an arena's adopted models and
   compiles them into a :class:`BatchedSequential` when every layer has a
-  batched kernel (Linear chains with parameter-free activations — the
-  MLP / logistic-regression family).  Architectures without batched
-  kernels (convolutions, dropout, batch norm) return ``None`` and the
-  caller keeps the per-worker loop.
+  batched kernel — Linear / Conv2d / pooling / Flatten / Dropout chains
+  with parameter-free activations, which covers the MLP and
+  logistic-regression family *and* the TinyCNN / MnistCNN / Cifar10CNN
+  conv presets.  Architectures without batched kernels (batch norm,
+  residual wiring) return ``None`` and the caller keeps the per-worker
+  loop.
 
 Every kernel also exposes ``forward_vector(vector, inputs)``: a plain
 2-D forward pass with parameters sliced from one flat vector.  This is
@@ -46,9 +62,18 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.nn import functional as F
 from repro.nn.activations import LeakyReLU, ReLU, Sigmoid, Tanh
 from repro.nn.arena import ParameterArena
-from repro.nn.layers import Linear
+from repro.nn.layers import (
+    AvgPool2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+)
 from repro.nn.module import Identity, Module, Sequential
 from repro.utils.flat import ParamSpec
 
@@ -278,6 +303,404 @@ class BatchedIdentity(BatchedKernel):
         return inputs
 
 
+class _WindowKernel(BatchedKernel):
+    """Shared geometry of the sliding-window kernels (conv and pooling):
+    the output-size computation and the channel-into-image fold both
+    live here once, so the train and eval paths of every window kernel
+    stay in sync."""
+
+    kernel_size: Tuple[int, int]
+    stride: Tuple[int, int]
+    padding: Tuple[int, int] = (0, 0)
+
+    def _output_hw(self, height: int, width: int) -> Tuple[int, int]:
+        return (
+            F.conv_output_size(
+                height, self.kernel_size[0], self.stride[0], self.padding[0]
+            ),
+            F.conv_output_size(
+                width, self.kernel_size[1], self.stride[1], self.padding[1]
+            ),
+        )
+
+    @staticmethod
+    def _fold_channels(inputs: np.ndarray) -> np.ndarray:
+        """Fold all leading (worker/batch/channel) axes into the im2col
+        image axis: ``(..., h, w) → (prod(...), 1, h, w)``."""
+        height, width = inputs.shape[-2:]
+        return inputs.reshape(-1, 1, height, width)
+
+
+class BatchedConv2d(_WindowKernel):
+    """All workers' im2col convolutions as one gather + stacked GEMMs.
+
+    The im2col rearrangement depends only on the *inputs*, so it runs
+    once for the whole worker block (workers folded into the image
+    axis); the per-worker weight matrices are ``(n, out_c, in_c·kh·kw)``
+    strided views into the arena, and the stacked :func:`numpy.matmul`
+    routes each worker's slice through the same GEMM kernel
+    :class:`~repro.nn.layers.Conv2d` uses on the same operands — the
+    batched convolution is therefore bit-identical to the loop, and
+    backward writes weight/bias gradients straight into ``arena.grads``.
+    """
+
+    def __init__(
+        self,
+        arena: ParameterArena,
+        weight_spec: ParamSpec,
+        bias_spec: Optional[ParamSpec],
+        kernel_size: Tuple[int, int],
+        stride: Tuple[int, int],
+        padding: Tuple[int, int],
+    ) -> None:
+        n = arena.num_workers
+        self.weight_spec = weight_spec
+        self.bias_spec = bias_spec
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        out_channels = weight_spec.shape[0]
+        self.out_channels = out_channels
+        # Each worker's (out_c, in_c, kh, kw) weight flattened to the
+        # (out_c, in_c·kh·kw) GEMM matrix the per-worker layer builds —
+        # zero-copy: a row slice of a contiguous row reshapes freely.
+        matrix_shape = (n, out_channels, weight_spec.size // out_channels)
+        self.weights = arena.data[
+            :, weight_spec.offset : weight_spec.end
+        ].reshape(matrix_shape)
+        self.weight_grads = arena.grads[
+            :, weight_spec.offset : weight_spec.end
+        ].reshape(matrix_shape)
+        self.biases: Optional[np.ndarray] = None
+        self.bias_grads: Optional[np.ndarray] = None
+        if bias_spec is not None:
+            self.biases = arena.data[:, bias_spec.offset : bias_spec.end]
+            self.bias_grads = arena.grads[:, bias_spec.offset : bias_spec.end]
+        self._cols: Optional[np.ndarray] = None
+        self._used_weights: Optional[np.ndarray] = None
+        self._input_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(
+        self, inputs: np.ndarray, rows=None
+    ) -> np.ndarray:
+        weights = self.weights if rows is None else self.weights[rows]
+        count, batch, channels, height, width = inputs.shape
+        out_h, out_w = self._output_hw(height, width)
+        # One im2col for the whole block, reshaped so each worker's slice
+        # is exactly the (B·oh·ow, c·kh·kw) patch matrix its per-worker
+        # layer would have built.
+        cols = F.im2col(
+            inputs.reshape(count * batch, channels, height, width),
+            self.kernel_size, self.stride, self.padding,
+        ).reshape(count, batch * out_h * out_w, -1)
+        self._cols = cols
+        self._used_weights = weights
+        self._input_shape = inputs.shape
+        # einsum('nmk,nok->nmo') via stacked BLAS — per-worker
+        # cols @ weight_matrix.T, bit for bit.
+        output = np.matmul(cols, weights.swapaxes(1, 2))
+        if self.biases is not None:
+            biases = self.biases if rows is None else self.biases[rows]
+            output += biases[:, None, :]
+        return output.reshape(
+            count, batch, out_h, out_w, self.out_channels
+        ).transpose(0, 1, 4, 2, 3)
+
+    def backward(
+        self, grad_output: np.ndarray, rows=None, need_input_grad: bool = True
+    ) -> Optional[np.ndarray]:
+        if self._cols is None or self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        count, batch, channels, height, width = self._input_shape
+        grad_matrix = grad_output.transpose(0, 1, 3, 4, 2).reshape(
+            count, -1, self.out_channels
+        )
+        # einsum('nmo,nmk->nok'): the per-worker grad_matrixᵀ @ cols
+        # GEMMs, overwritten into the arena views (slices write in place;
+        # index arrays need the gather/scatter copy) — same overwrite
+        # semantics as BatchedLinear.
+        if rows is None or isinstance(rows, slice):
+            target = self.weight_grads if rows is None else self.weight_grads[rows]
+            np.matmul(grad_matrix.swapaxes(1, 2), self._cols, out=target)
+        else:
+            self.weight_grads[rows] = np.matmul(
+                grad_matrix.swapaxes(1, 2), self._cols
+            )
+        if self.bias_grads is not None:
+            if rows is None or isinstance(rows, slice):
+                target = self.bias_grads if rows is None else self.bias_grads[rows]
+                np.sum(grad_matrix, axis=1, out=target)
+            else:
+                self.bias_grads[rows] = grad_matrix.sum(axis=1)
+        if not need_input_grad:
+            return None
+        grad_cols = np.matmul(grad_matrix, self._used_weights)
+        folded = F.col2im(
+            grad_cols.reshape(-1, grad_cols.shape[2]),
+            (count * batch, channels, height, width),
+            self.kernel_size, self.stride, self.padding,
+        )
+        return folded.reshape(self._input_shape)
+
+    def forward_vector(self, vector: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        spec = self.weight_spec
+        weight_matrix = vector[spec.offset : spec.end].reshape(
+            self.out_channels, -1
+        )
+        batch, _, height, width = inputs.shape
+        out_h, out_w = self._output_hw(height, width)
+        cols = F.im2col(inputs, self.kernel_size, self.stride, self.padding)
+        output = cols @ weight_matrix.T
+        if self.bias_spec is not None:
+            output += vector[self.bias_spec.offset : self.bias_spec.end]
+        return output.reshape(batch, out_h, out_w, self.out_channels).transpose(
+            0, 3, 1, 2
+        )
+
+
+class BatchedMaxPool2d(_WindowKernel):
+    """Max pooling over ``(n, B, c, h, w)`` stacks with argmax routing.
+
+    Workers and channels fold into the im2col image axis (pure gathers,
+    so parity with the per-worker layer is exact).  The padded-path mask
+    is one cached boolean row block per input size, built from a probe in
+    the input dtype, with a dtype-typed ``-inf`` fill — the same
+    construction as :meth:`repro.nn.layers.MaxPool2d.padding_mask`.
+    """
+
+    def __init__(
+        self,
+        kernel_size: Tuple[int, int],
+        stride: Tuple[int, int],
+        padding: Tuple[int, int],
+    ) -> None:
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        #: Separate one-slot mask caches for the training forward and the
+        #: consensus-eval path: evaluation images may differ in spatial
+        #: size from training batches, and a shared slot would thrash
+        #: (rebuilding the training-size mask every step).  The caches
+        #: are value-static memoization — they never affect results.
+        self._pad_cache: Optional[Tuple[Tuple[int, int], np.ndarray]] = None
+        self._eval_pad_cache: Optional[Tuple[Tuple[int, int], np.ndarray]] = None
+        self._argmax: Optional[np.ndarray] = None
+        self._cols_shape: Optional[Tuple[int, ...]] = None
+        self._input_shape: Optional[Tuple[int, ...]] = None
+
+    def _pool_cols(self, folded: np.ndarray, cache):
+        """``(cols, cache)``: im2col of channel-folded images with padded
+        cells masked out — the same shared construction the per-worker
+        layer uses (:func:`~repro.nn.functional.pool_window_mask` /
+        :func:`~repro.nn.functional.mask_padded_cols`), memoized per
+        input size through the caller-owned ``cache`` slot."""
+        cols = F.im2col(folded, self.kernel_size, self.stride, self.padding)
+        if self.padding == (0, 0):
+            return cols, cache
+        height, width = folded.shape[2:]
+        cache, mask = F.cached_pool_window_mask(
+            cache, height, width, self.kernel_size, self.stride,
+            self.padding, folded.dtype,
+        )
+        kh, kw = self.kernel_size
+        return F.mask_padded_cols(cols, mask, kh * kw), cache
+
+    def forward(
+        self, inputs: np.ndarray, rows=None
+    ) -> np.ndarray:
+        count, batch, channels, height, width = inputs.shape
+        out_h, out_w = self._output_hw(height, width)
+        cols, self._pad_cache = self._pool_cols(
+            self._fold_channels(inputs), self._pad_cache
+        )
+        self._argmax = np.argmax(cols, axis=1)
+        self._cols_shape = cols.shape
+        self._input_shape = inputs.shape
+        output = cols[np.arange(cols.shape[0]), self._argmax]
+        return output.reshape(count, batch, channels, out_h, out_w)
+
+    def backward(
+        self, grad_output: np.ndarray, rows=None, need_input_grad: bool = True
+    ) -> Optional[np.ndarray]:
+        if self._argmax is None:
+            raise RuntimeError("backward called before forward")
+        if not need_input_grad:
+            return None
+        count, batch, channels, height, width = self._input_shape
+        grad_cols = np.zeros(self._cols_shape, dtype=grad_output.dtype)
+        grad_cols[np.arange(grad_cols.shape[0]), self._argmax] = (
+            grad_output.ravel()
+        )
+        folded = F.col2im(
+            grad_cols, (count * batch * channels, 1, height, width),
+            self.kernel_size, self.stride, self.padding,
+        )
+        return folded.reshape(self._input_shape)
+
+    def forward_vector(self, vector: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        batch, channels, height, width = inputs.shape
+        out_h, out_w = self._output_hw(height, width)
+        cols, self._eval_pad_cache = self._pool_cols(
+            self._fold_channels(inputs), self._eval_pad_cache
+        )
+        output = cols[np.arange(cols.shape[0]), np.argmax(cols, axis=1)]
+        return output.reshape(batch, channels, out_h, out_w)
+
+
+class BatchedAvgPool2d(_WindowKernel):
+    """Average pooling over stacks (no padding, like the per-worker layer)."""
+
+    def __init__(
+        self, kernel_size: Tuple[int, int], stride: Tuple[int, int]
+    ) -> None:
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self._input_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(
+        self, inputs: np.ndarray, rows=None
+    ) -> np.ndarray:
+        count, batch, channels, height, width = inputs.shape
+        out_h, out_w = self._output_hw(height, width)
+        cols = F.im2col(
+            self._fold_channels(inputs), self.kernel_size, self.stride, (0, 0)
+        )
+        self._input_shape = inputs.shape
+        return cols.mean(axis=1).reshape(count, batch, channels, out_h, out_w)
+
+    def backward(
+        self, grad_output: np.ndarray, rows=None, need_input_grad: bool = True
+    ) -> Optional[np.ndarray]:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        if not need_input_grad:
+            return None
+        count, batch, channels, height, width = self._input_shape
+        window = self.kernel_size[0] * self.kernel_size[1]
+        grad_cols = np.repeat(
+            grad_output.reshape(-1, 1) / window, window, axis=1
+        )
+        folded = F.col2im(
+            grad_cols, (count * batch * channels, 1, height, width),
+            self.kernel_size, self.stride, (0, 0),
+        )
+        return folded.reshape(self._input_shape)
+
+    def forward_vector(self, vector: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        batch, channels, height, width = inputs.shape
+        out_h, out_w = self._output_hw(height, width)
+        cols = F.im2col(
+            self._fold_channels(inputs), self.kernel_size, self.stride, (0, 0)
+        )
+        return cols.mean(axis=1).reshape(batch, channels, out_h, out_w)
+
+
+class BatchedGlobalAvgPool2d(BatchedKernel):
+    """Spatial mean over stacks: ``(n, B, c, h, w) → (n, B, c)``."""
+
+    def __init__(self) -> None:
+        self._input_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(
+        self, inputs: np.ndarray, rows=None
+    ) -> np.ndarray:
+        self._input_shape = inputs.shape
+        return inputs.mean(axis=(3, 4))
+
+    def backward(
+        self, grad_output: np.ndarray, rows=None, need_input_grad: bool = True
+    ) -> Optional[np.ndarray]:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        if not need_input_grad:
+            return None
+        height, width = self._input_shape[3:]
+        scale = 1.0 / (height * width)
+        return np.broadcast_to(
+            (grad_output * scale)[..., None, None], self._input_shape
+        )
+
+    def forward_vector(self, vector: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        return inputs.mean(axis=(2, 3))
+
+
+class BatchedFlatten(BatchedKernel):
+    """Flatten all non-(worker, batch) dimensions."""
+
+    def __init__(self) -> None:
+        self._input_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(
+        self, inputs: np.ndarray, rows=None
+    ) -> np.ndarray:
+        self._input_shape = inputs.shape
+        return inputs.reshape(inputs.shape[0], inputs.shape[1], -1)
+
+    def backward(
+        self, grad_output: np.ndarray, rows=None, need_input_grad: bool = True
+    ) -> Optional[np.ndarray]:
+        if not need_input_grad:
+            return None
+        return grad_output.reshape(self._input_shape)
+
+    def forward_vector(self, vector: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        return inputs.reshape(inputs.shape[0], -1)
+
+
+class BatchedDropout(BatchedKernel):
+    """Inverted dropout replaying each worker's own RNG mask stream.
+
+    The per-worker layer draws one ``rng.random(batch_shape)`` per step
+    from its private generator; the batched kernel drives the *same*
+    generators — one small draw per stepped worker, stacked into an
+    ``(n, B, ...)`` mask built in the input dtype — so the batched
+    trajectory is stream- and bit-identical to the loop.
+    ``forward_vector`` is the eval-mode identity, consistent with
+    :meth:`TrainingWorker.evaluate` (dropout is off during consensus
+    evaluation).
+    """
+
+    def __init__(self, layers: Sequence[Dropout]) -> None:
+        self.layers: List[Dropout] = list(layers)
+        self.rate = self.layers[0].rate
+        self._mask: Optional[np.ndarray] = None
+
+    def _selected(self, rows) -> List[Dropout]:
+        if rows is None:
+            return self.layers
+        if isinstance(rows, slice):
+            return self.layers[rows]
+        return [self.layers[rank] for rank in np.asarray(rows)]
+
+    def forward(
+        self, inputs: np.ndarray, rows=None
+    ) -> np.ndarray:
+        if self.rate == 0.0:
+            self._mask = None
+            return inputs
+        keep = 1.0 - self.rate
+        layers = self._selected(rows)
+        mask = np.empty(inputs.shape, dtype=inputs.dtype)
+        sample_shape = inputs.shape[1:]
+        for position, layer in enumerate(layers):
+            mask[position] = layer._rng.random(sample_shape) < keep
+        mask /= keep
+        self._mask = mask
+        return inputs * mask
+
+    def backward(
+        self, grad_output: np.ndarray, rows=None, need_input_grad: bool = True
+    ) -> Optional[np.ndarray]:
+        if not need_input_grad:
+            return None
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask
+
+    def forward_vector(self, vector: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        return inputs
+
+
 class BatchedCrossEntropyLoss:
     """Softmax cross-entropy over ``(n, B, C)`` logits, per-worker mean.
 
@@ -357,17 +780,20 @@ class BatchedSequential:
         return grad
 
     def forward_vector(self, vector: np.ndarray, inputs: np.ndarray) -> np.ndarray:
-        """Eval-mode forward of one flat model vector (no state mutated)."""
+        """Eval-mode forward of one flat model vector.
+
+        No *training* state is mutated: parameters, gradients, backward
+        caches and RNG streams are untouched (kernels may memoize
+        value-static lookup tables, e.g. the pooling pad mask, in
+        eval-only slots)."""
         out = inputs
         for kernel in self.kernels:
             out = kernel.forward_vector(vector, out)
         return out
 
 
-#: Activation layers with exact batched counterparts.  Dropout is
-#: deliberately absent (its per-layer RNG stream cannot be reproduced
-#: from a stacked pass), as is anything with parameters or running
-#: statistics.
+#: Activation layers with exact batched counterparts.  Anything with
+#: running statistics (batch norm) is deliberately absent.
 _ACTIVATION_KERNELS = {
     ReLU: BatchedReLU,
     Tanh: BatchedTanh,
@@ -394,11 +820,33 @@ def _layer_plan(model: Module) -> Optional[List[tuple]]:
     specs = iter(model.flat_specs())
     plan: List[tuple] = []
     try:
-        for layer in model.layers:
+        for index, layer in enumerate(model.layers):
             if type(layer) is Linear:
                 weight_spec = next(specs)
                 bias_spec = next(specs) if layer.bias is not None else None
                 plan.append(("linear", weight_spec, bias_spec))
+            elif type(layer) is Conv2d:
+                weight_spec = next(specs)
+                bias_spec = next(specs) if layer.bias is not None else None
+                plan.append((
+                    "conv", weight_spec, bias_spec,
+                    layer.kernel_size, layer.stride, layer.padding,
+                ))
+            elif type(layer) is MaxPool2d:
+                plan.append((
+                    "maxpool", layer.kernel_size, layer.stride, layer.padding
+                ))
+            elif type(layer) is AvgPool2d:
+                plan.append(("avgpool", layer.kernel_size, layer.stride))
+            elif type(layer) is GlobalAvgPool2d:
+                plan.append(("gap",))
+            elif type(layer) is Flatten:
+                plan.append(("flatten",))
+            elif type(layer) is Dropout:
+                # The layer *index* rides along so the kernel builder can
+                # collect every worker's own layer (and with it the
+                # private RNG whose stream the batched pass replays).
+                plan.append(("dropout", layer.rate, index))
             elif type(layer) is LeakyReLU and not layer._parameters:
                 plan.append(("leaky_relu", layer.negative_slope))
             elif type(layer) in _ACTIVATION_KERNELS and not layer._parameters:
@@ -426,9 +874,25 @@ def build_batched_model(arena: ParameterArena) -> Optional[BatchedSequential]:
         return None
     kernels: List[BatchedKernel] = []
     for entry in reference:
-        if entry[0] == "linear":
+        kind = entry[0]
+        if kind == "linear":
             kernels.append(BatchedLinear(arena, entry[1], entry[2]))
-        elif entry[0] == "leaky_relu":
+        elif kind == "conv":
+            kernels.append(BatchedConv2d(arena, *entry[1:]))
+        elif kind == "maxpool":
+            kernels.append(BatchedMaxPool2d(*entry[1:]))
+        elif kind == "avgpool":
+            kernels.append(BatchedAvgPool2d(*entry[1:]))
+        elif kind == "gap":
+            kernels.append(BatchedGlobalAvgPool2d())
+        elif kind == "flatten":
+            kernels.append(BatchedFlatten())
+        elif kind == "dropout":
+            layer_index = entry[2]
+            kernels.append(
+                BatchedDropout([model.layers[layer_index] for model in models])
+            )
+        elif kind == "leaky_relu":
             kernels.append(BatchedLeakyReLU(entry[1]))
         else:
             kernels.append(
@@ -437,6 +901,6 @@ def build_batched_model(arena: ParameterArena) -> Optional[BatchedSequential]:
                     "tanh": BatchedTanh,
                     "sigmoid": BatchedSigmoid,
                     "identity": BatchedIdentity,
-                }[entry[0]]()
+                }[kind]()
             )
     return BatchedSequential(kernels, arena.num_workers)

@@ -106,6 +106,68 @@ def col2im(
     return padded[:, :, ph : ph + height, pw : pw + width]
 
 
+def pool_window_mask(
+    height: int,
+    width: int,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+    dtype,
+) -> np.ndarray:
+    """Boolean ``(out_h·out_w, kh·kw)`` mask of real (non-padded) window
+    positions for one ``(height, width)`` image.
+
+    The probe is allocated in ``dtype`` so building the mask never
+    touches float64 for float32 runs.  The mask is static per input
+    size — callers cache it instead of rebuilding per forward.
+    """
+    probe = np.ones((1, 1, height, width), dtype=dtype)
+    return im2col(probe, kernel, stride, padding) > 0
+
+
+def cached_pool_window_mask(
+    cache,
+    height: int,
+    width: int,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+    dtype,
+):
+    """One-slot ``(height, width)``-keyed cache around
+    :func:`pool_window_mask`.
+
+    ``cache`` is the caller's previous ``(key, mask)`` tuple (or
+    ``None``); returns ``(new_cache, mask)``.  Both the per-worker
+    :class:`~repro.nn.layers.MaxPool2d` and the batched kernel route
+    their caching through here, so the key policy lives once.
+    """
+    key = (height, width)
+    if cache is None or cache[0] != key:
+        cache = (key, pool_window_mask(height, width, kernel, stride, padding, dtype))
+    return cache, cache[1]
+
+
+def mask_padded_cols(
+    cols: np.ndarray, mask: np.ndarray, window: int
+) -> np.ndarray:
+    """Replace padded cells of folded im2col ``cols`` with ``-inf``.
+
+    ``cols`` is the ``(num_images·out_h·out_w, window)`` matrix of a
+    channel-folded pooling im2col; ``mask`` the single-image
+    :func:`pool_window_mask`.  The fill is typed from ``cols`` so
+    float32 columns stay float32 under any promotion rules.  This is
+    the one construction both the per-worker :class:`MaxPool2d` and the
+    batched kernel use — keeping them bit-identical by sharing, not by
+    synchronization.
+    """
+    return np.where(
+        mask[None],
+        cols.reshape(-1, mask.shape[0], window),
+        cols.dtype.type(-np.inf),
+    ).reshape(cols.shape)
+
+
 def conv2d_naive(
     images: np.ndarray,
     weight: np.ndarray,

@@ -153,6 +153,19 @@ class MaxPool2d(Module):
         self._argmax: Optional[np.ndarray] = None
         self._cols_shape: Optional[Tuple[int, ...]] = None
         self._input_shape: Optional[Tuple[int, int, int, int]] = None
+        self._pad_cache: Optional[Tuple[Tuple[int, int], np.ndarray]] = None
+
+    def padding_mask(self, height: int, width: int, dtype) -> np.ndarray:
+        """Boolean ``(out_h·out_w, kh·kw)`` mask of real (non-padded)
+        window positions for one ``(height, width)`` image
+        (:func:`repro.nn.functional.pool_window_mask`), cached per input
+        size instead of being rebuilt from an image-sized ``ones`` every
+        forward."""
+        self._pad_cache, mask = F.cached_pool_window_mask(
+            self._pad_cache, height, width, self.kernel_size, self.stride,
+            self.padding, dtype,
+        )
+        return mask
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
         batch, channels, height, width = inputs.shape
@@ -166,11 +179,9 @@ class MaxPool2d(Module):
         cols = F.im2col(folded, self.kernel_size, self.stride, self.padding)
         if self.padding != (0, 0):
             # Padded positions must never win the max.
-            mask_src = np.ones((batch * channels, 1, height, width))
-            pad_mask = F.im2col(
-                mask_src, self.kernel_size, self.stride, self.padding
+            cols = F.mask_padded_cols(
+                cols, self.padding_mask(height, width, inputs.dtype), kh * kw
             )
-            cols = np.where(pad_mask > 0, cols, -np.inf)
         self._argmax = np.argmax(cols, axis=1)
         self._cols_shape = cols.shape
         self._input_shape = inputs.shape
@@ -239,10 +250,11 @@ class GlobalAvgPool2d(Module):
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         batch, channels, height, width = self._input_shape
         scale = 1.0 / (height * width)
-        return (
-            grad_output[:, :, None, None]
-            * np.ones((batch, channels, height, width), dtype=grad_output.dtype)
-            * scale
+        # Broadcast instead of materializing an input-sized ones array:
+        # allocation-free (the view is read-only, which every consumer
+        # tolerates) and bit-identical — multiplying by 1.0 was exact.
+        return np.broadcast_to(
+            (grad_output * scale)[:, :, None, None], self._input_shape
         )
 
 
@@ -277,8 +289,13 @@ class Dropout(Module):
             self._mask = None
             return inputs
         keep = 1.0 - self.rate
-        self._mask = (self._rng.random(inputs.shape) < keep) / keep
-        return inputs * self._mask
+        # Build the mask in the input dtype: the boolean keep-draw divided
+        # by a python float would allocate float64 and silently upcast
+        # float32 activations (and their gradients in backward).
+        mask = (self._rng.random(inputs.shape) < keep).astype(inputs.dtype)
+        mask /= keep
+        self._mask = mask
+        return inputs * mask
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:

@@ -150,7 +150,12 @@ def instantiate_preset(
     scaled model (:class:`TinyCNN`/:class:`MLP`) and a smaller synthetic
     dataset, so the preset runs in seconds.  ``fast=False`` uses the
     paper's full architecture on the full-shape synthetic dataset —
-    slow in pure numpy, intended for smoke-scale runs.
+    slow in pure numpy, intended for smoke-scale runs.  The TinyCNN
+    scale tiers and the full :class:`MnistCNN`/:class:`Cifar10CNN`
+    architectures all compile onto the batched cluster engine
+    (:meth:`repro.sim.ClusterTrainer.build`), so local compute runs
+    loop-free; :class:`ResNet20` (batch norm, residual wiring) keeps the
+    per-worker loop.
 
     ``dtype`` selects the training precision (``"float64"`` default,
     ``"float32"`` for the reduced-precision path); it flows into both the

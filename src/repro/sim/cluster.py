@@ -8,7 +8,7 @@ with a handful of matrix operations over the shared
 1. **Stacked sampling** — one RNG draw per worker through the worker's
    *own* :class:`~repro.data.loader.DataLoader` (stream-identical to the
    per-worker loop, churn included), stacked into an ``(n, B, d)`` batch
-   tensor.
+   tensor (``(n, B, c, h, w)`` for the conv-family models).
 2. **Batched forward/backward** — a :class:`~repro.nn.batched.BatchedSequential`
    compiled over the arena's weight views (see :mod:`repro.nn.batched`),
    so gradients land directly in ``arena.grads``.
@@ -29,9 +29,12 @@ kernels without borrowing and restoring a worker replica.
 
 :meth:`ClusterTrainer.build` returns ``None`` whenever exact
 equivalence cannot be guaranteed — no shared arena, a layer without a
-batched kernel, heterogeneous batch sizes or optimizer hyperparameters,
-pre-existing per-worker momentum state — and callers keep the
-per-worker loop, which doubles as the equivalence oracle.
+batched kernel (batch norm, residual wiring), heterogeneous batch sizes
+or optimizer hyperparameters, pre-existing per-worker momentum state —
+and callers keep the per-worker loop, which doubles as the equivalence
+oracle.  As of the batched conv kernels, Linear/Conv2d/pooling/Flatten/
+Dropout chains all compile, so the TinyCNN and MnistCNN/Cifar10CNN
+presets ride the batched path alongside the MLP family.
 """
 
 from __future__ import annotations
@@ -146,8 +149,10 @@ class ClusterTrainer:
         batch_size = loaders[0].batch_size
         if any(loader.batch_size != batch_size for loader in loaders):
             return None
+        # Flat feature vectors (MLP/logistic) and (c, h, w) images (the
+        # conv-family kernels) both stack into (n, B, ...) buffers.
         sample_shape = loaders[0].dataset.features.shape[1:]
-        if len(sample_shape) != 1:
+        if len(sample_shape) not in (1, 3):
             return None
         feature_dtype = loaders[0].dataset.features.dtype
         label_dtype = loaders[0].dataset.labels.dtype

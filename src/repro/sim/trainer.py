@@ -5,6 +5,13 @@ an optimizer — Algorithm 2's ``SGD(net, D_p, L)`` — and exposes the two
 operations the distributed algorithms need: apply one local SGD step, or
 just *compute* the gradient (for algorithms that average gradients before
 stepping, like PSGD).
+
+The per-worker loop here also doubles as the **equivalence oracle** for
+the batched :class:`~repro.sim.cluster.ClusterTrainer`: for every
+architecture the batched kernels cover (the MLP/logistic family and, as
+of the batched conv kernels, the TinyCNN / MnistCNN / Cifar10CNN
+Conv/pool/Flatten/Dropout chains) the batched step must reproduce
+``local_step`` bit for bit — enforced by ``tests/test_cluster_trainer.py``.
 """
 
 from __future__ import annotations

@@ -19,7 +19,7 @@ from repro.algorithms.saps_psgd import SAPSPSGD
 from repro.data import Dataset, make_blobs, make_synthetic_images, partition_iid
 from repro.network import random_uniform_bandwidth
 from repro.network.transport import SimulatedNetwork
-from repro.nn import MLP, LogisticRegression, TinyCNN
+from repro.nn import Linear, MLP, LogisticRegression, TinyCNN
 from repro.nn.batched import build_batched_model
 from repro.sim import (
     ClusterTrainer,
@@ -75,6 +75,41 @@ def _make_pair(model_key, num_workers, momentum=0.0, weight_decay=0.0,
     return loop_workers, batched_workers, trainer, validation
 
 
+CONV_CHANNELS = 1
+CONV_SIZE = 8
+
+
+def _conv_workload(num_workers, seed=5, channels=CONV_CHANNELS, size=CONV_SIZE):
+    full = make_synthetic_images(
+        40 * num_workers + 80, num_classes=NUM_CLASSES, channels=channels,
+        size=size, noise=0.2, rng=seed,
+    )
+    train, validation = full.split(
+        fraction=(40 * num_workers) / (40 * num_workers + 80), rng=seed
+    )
+    return partition_iid(train, num_workers, rng=seed), validation
+
+
+def _make_conv_pair(num_workers, momentum=0.0, weight_decay=0.0,
+                    dtype="float64", factory=None):
+    """Loop-oracle and batched worker sets over a conv (image) workload."""
+    partitions, validation = _conv_workload(num_workers)
+    config = ExperimentConfig(
+        rounds=1, batch_size=8, lr=0.1, momentum=momentum,
+        weight_decay=weight_decay, seed=3, dtype=dtype,
+    )
+    if factory is None:
+        factory = lambda: TinyCNN(
+            in_channels=CONV_CHANNELS, image_size=CONV_SIZE,
+            num_classes=NUM_CLASSES, width=4, rng=11, dtype=dtype,
+        )
+    loop_workers = make_workers(factory, partitions, config)
+    batched_workers = make_workers(factory, partitions, config)
+    trainer = ClusterTrainer.build(batched_workers)
+    assert trainer is not None
+    return loop_workers, batched_workers, trainer, validation
+
+
 def _params_matrix(workers):
     return np.stack([worker.snapshot_params() for worker in workers])
 
@@ -103,14 +138,26 @@ class TestBuild:
         )
         assert ClusterTrainer.build(workers) is None
 
-    def test_none_for_conv_models(self):
+    def test_builds_for_conv_models(self):
+        _, _, trainer, _ = _make_conv_pair(num_workers=3)
+        assert trainer.num_workers == 3
+
+    def test_none_for_batchnorm_models(self):
+        from repro.nn import Linear, Sequential
+        from repro.nn.layers import BatchNorm2d, Conv2d, Flatten
+
         full = make_synthetic_images(
             120, num_classes=4, channels=1, size=8, noise=0.2, rng=0
         )
         partitions = partition_iid(full, 3, rng=0)
         config = ExperimentConfig(rounds=1, batch_size=8)
         workers = make_workers(
-            lambda: TinyCNN(in_channels=1, image_size=8, num_classes=4, rng=1),
+            lambda: Sequential(
+                Conv2d(1, 4, 3, padding=1, rng=1),
+                BatchNorm2d(4),
+                Flatten(),
+                Linear(4 * 8 * 8, 4, rng=1),
+            ),
             partitions, config,
         )
         assert ClusterTrainer.build(workers) is None
@@ -260,6 +307,172 @@ class TestStepEquivalence:
             np.testing.assert_array_equal(loop_losses, batched_losses)
         assert _params_matrix(batched_workers).dtype == np.float32
         assert_params_close(loop_workers, batched_workers, maxulp=1)
+
+
+# ----------------------------------------------------------------------
+# conv-family equivalence: TinyCNN and Conv/pool/Flatten/Dropout chains
+# ----------------------------------------------------------------------
+class TestConvEquivalence:
+    @pytest.mark.parametrize("num_workers", [3, 8])
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_tiny_cnn_trajectory(self, num_workers, dtype):
+        loop_workers, batched_workers, trainer, _ = _make_conv_pair(
+            num_workers, dtype=dtype
+        )
+        for _ in range(8):
+            loop_losses = np.array([w.local_step() for w in loop_workers])
+            batched_losses = trainer.step()
+            np.testing.assert_array_equal(loop_losses, batched_losses)
+        assert _params_matrix(batched_workers).dtype == np.dtype(dtype)
+        assert_params_close(loop_workers, batched_workers, maxulp=1)
+
+    def test_tiny_cnn_momentum_weight_decay_trajectory(self):
+        loop_workers, batched_workers, trainer, _ = _make_conv_pair(
+            num_workers=3, momentum=0.9, weight_decay=1e-3
+        )
+        for _ in range(8):
+            loop_losses = np.array([w.local_step() for w in loop_workers])
+            np.testing.assert_array_equal(loop_losses, trainer.step())
+        assert_params_close(loop_workers, batched_workers)
+
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_pool_flatten_dropout_chain_trajectory(self, dtype):
+        """Padded MaxPool2d, AvgPool2d, Flatten and Dropout all replay
+        exactly — including each worker's private dropout RNG stream."""
+        from repro.nn import ReLU, Sequential
+        from repro.nn.layers import AvgPool2d, Conv2d, Dropout, Flatten, MaxPool2d
+
+        factory = lambda: Sequential(
+            Conv2d(CONV_CHANNELS, 4, 3, padding=1, rng=7, dtype=dtype),
+            ReLU(),
+            MaxPool2d(3, stride=2, padding=1),
+            Conv2d(4, 6, 3, bias=False, rng=7, dtype=dtype),
+            ReLU(),
+            AvgPool2d(2, stride=1),
+            Flatten(),
+            Dropout(0.4, rng=13),
+            Linear(6, NUM_CLASSES, rng=7, dtype=dtype),
+        )
+        loop_workers, batched_workers, trainer, _ = _make_conv_pair(
+            num_workers=3, dtype=dtype, factory=factory
+        )
+        for _ in range(6):
+            loop_losses = np.array([w.local_step() for w in loop_workers])
+            np.testing.assert_array_equal(loop_losses, trainer.step())
+        assert_params_close(loop_workers, batched_workers, maxulp=1)
+
+    def test_dropout_subset_ranks_trajectory(self):
+        """Subset steps must advance only the *stepped* workers' dropout
+        generators — mixed subset and full-cluster steps stay
+        stream-identical to the loop oracle."""
+        from repro.nn import ReLU, Sequential
+        from repro.nn.layers import Conv2d, Dropout, Flatten
+
+        factory = lambda: Sequential(
+            Conv2d(CONV_CHANNELS, 4, 3, padding=1, rng=7),
+            ReLU(),
+            Flatten(),
+            Dropout(0.4, rng=13),
+            Linear(4 * CONV_SIZE * CONV_SIZE, NUM_CLASSES, rng=7),
+        )
+        loop_workers, batched_workers, trainer, _ = _make_conv_pair(
+            num_workers=5, factory=factory
+        )
+        schedule = [[0, 2, 4], None, [1, 3], None]
+        for ranks in schedule:
+            stepped = range(5) if ranks is None else ranks
+            loop_losses = np.array(
+                [loop_workers[r].local_step() for r in stepped]
+            )
+            np.testing.assert_array_equal(
+                loop_losses, trainer.step(ranks=ranks)
+            )
+        assert_params_close(loop_workers, batched_workers)
+
+    def test_conv_subset_ranks_trajectory(self):
+        loop_workers, batched_workers, trainer, _ = _make_conv_pair(
+            num_workers=5
+        )
+        ranks = [0, 2, 4]
+        for _ in range(4):
+            loop_losses = np.array(
+                [loop_workers[r].local_step() for r in ranks]
+            )
+            np.testing.assert_array_equal(loop_losses, trainer.step(ranks=ranks))
+        assert_params_close(loop_workers, batched_workers)
+        assert loop_workers[1].steps_taken == 0
+        assert batched_workers[1].steps_taken == 0
+
+    def test_conv_compute_gradients_matches_loop(self):
+        loop_workers, batched_workers, trainer, _ = _make_conv_pair(
+            num_workers=3
+        )
+        loop_losses = []
+        loop_grads = []
+        for worker in loop_workers:
+            loss, grad = worker.compute_gradient()
+            loop_losses.append(loss)
+            loop_grads.append(grad.copy())
+        before = _params_matrix(batched_workers)
+        batched_losses = trainer.compute_gradients()
+        np.testing.assert_array_equal(np.asarray(loop_losses), batched_losses)
+        np.testing.assert_array_equal(np.stack(loop_grads), trainer.arena.grads)
+        np.testing.assert_array_equal(before, _params_matrix(batched_workers))
+
+    def test_conv_evaluate_vector_matches_probe(self):
+        loop_workers, _, trainer, validation = _make_conv_pair(num_workers=3)
+        trainer.batched_steps(2)
+        vector = trainer.arena.mean_model()
+        probe = loop_workers[0]
+        saved = probe.snapshot_params()
+        probe.set_params(vector)
+        expected = probe.evaluate(validation)
+        probe.set_params(saved)
+        assert trainer.evaluate_vector(vector, validation) == expected
+
+    def test_conv_end_to_end_saps_bit_identical(self):
+        """A full SAPS-PSGD run on TinyCNN: batched arena vs loop."""
+        partitions, validation = _conv_workload(4)
+        factory = lambda: TinyCNN(
+            in_channels=CONV_CHANNELS, image_size=CONV_SIZE,
+            num_classes=NUM_CLASSES, width=4, rng=11,
+        )
+        histories = {}
+        for use_arena in (True, False):
+            config = ExperimentConfig(
+                rounds=6, batch_size=8, lr=0.1, momentum=0.9,
+                eval_every=3, seed=3, use_arena=use_arena,
+            )
+            result = run_experiment(
+                SAPSPSGD(compression_ratio=8.0, base_seed=3, local_steps=2),
+                partitions, validation, factory, config,
+                network=SimulatedNetwork(4),
+            )
+            histories[use_arena] = result.history
+        assert len(histories[True]) == len(histories[False])
+        for field in TRACKED_FIELDS:
+            batched_series = np.array(
+                [getattr(r, field) for r in histories[True]]
+            )
+            loop_series = np.array(
+                [getattr(r, field) for r in histories[False]]
+            )
+            np.testing.assert_array_equal(
+                batched_series, loop_series, err_msg=f"{field} diverged"
+            )
+
+    @pytest.mark.parametrize("preset", ["mnist-cnn", "cifar10-cnn", "resnet-20"])
+    def test_tiny_cnn_presets_build_cluster_trainer(self, preset):
+        """The fast (TinyCNN) flavour of every conv preset rides the
+        batched engine — ClusterTrainer.build must return a trainer."""
+        from repro.presets import instantiate_preset
+
+        partitions, _, factory, config = instantiate_preset(
+            preset, num_workers=3, fast=True, samples_per_worker=8,
+            validation_samples=24,
+        )
+        workers = make_workers(factory, partitions, config)
+        assert ClusterTrainer.build(workers) is not None
 
 
 class TestComputeGradients:

@@ -99,6 +99,150 @@ class TestParameterAndModules:
         assert model.dtype == np.float32
 
 
+class TestConvStackDtypePreservation:
+    """Forward *and* backward must stay in the input dtype through the
+    conv/pool/dropout stack — regression tests for the float64 leaks
+    (Dropout's mask, MaxPool2d's pad mask) that silently upcast float32
+    activations and gradients."""
+
+    @staticmethod
+    def _roundtrip_dtypes(layer, inputs):
+        out = layer.forward(inputs)
+        grad_in = layer.backward(np.ones_like(out))
+        return out.dtype, grad_in.dtype
+
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_conv2d(self, dtype):
+        from repro.nn.layers import Conv2d
+
+        layer = Conv2d(2, 3, 3, padding=1, rng=0, dtype=dtype)
+        images = np.ones((2, 2, 6, 6), dtype=dtype)
+        out_dtype, grad_dtype = self._roundtrip_dtypes(layer, images)
+        assert out_dtype == np.dtype(dtype)
+        assert grad_dtype == np.dtype(dtype)
+        assert layer.weight.grad.dtype == np.dtype(dtype)
+
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    @pytest.mark.parametrize("padding", [0, 1])
+    def test_maxpool2d(self, dtype, padding):
+        from repro.nn.layers import MaxPool2d
+
+        layer = MaxPool2d(3, stride=2, padding=padding)
+        images = np.arange(2 * 2 * 7 * 7, dtype=dtype).reshape(2, 2, 7, 7)
+        out_dtype, grad_dtype = self._roundtrip_dtypes(layer, images)
+        assert out_dtype == np.dtype(dtype)
+        assert grad_dtype == np.dtype(dtype)
+
+    def test_maxpool2d_pad_mask_is_cached(self):
+        from repro.nn.layers import MaxPool2d
+
+        layer = MaxPool2d(3, stride=2, padding=1)
+        images = np.ones((2, 2, 7, 7), dtype=np.float32)
+        layer.forward(images)
+        cached = layer._pad_cache
+        assert cached is not None and cached[1].dtype == np.bool_
+        layer.forward(images)
+        assert layer._pad_cache[1] is cached[1]  # not rebuilt per forward
+        layer.forward(np.ones((2, 2, 9, 9), dtype=np.float32))
+        assert layer._pad_cache[0] == (9, 9)  # keyed by input size
+
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_avgpool2d(self, dtype):
+        from repro.nn.layers import AvgPool2d
+
+        layer = AvgPool2d(2)
+        images = np.ones((2, 3, 6, 6), dtype=dtype)
+        out_dtype, grad_dtype = self._roundtrip_dtypes(layer, images)
+        assert out_dtype == np.dtype(dtype)
+        assert grad_dtype == np.dtype(dtype)
+
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_global_avgpool2d(self, dtype):
+        from repro.nn.layers import GlobalAvgPool2d
+
+        layer = GlobalAvgPool2d()
+        images = np.ones((2, 3, 5, 5), dtype=dtype)
+        out = layer.forward(images)
+        grad_in = layer.backward(np.ones_like(out))
+        assert out.dtype == np.dtype(dtype)
+        assert grad_in.dtype == np.dtype(dtype)
+        assert grad_in.shape == images.shape
+
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_batchnorm2d(self, dtype):
+        from repro.nn.layers import BatchNorm2d
+
+        layer = BatchNorm2d(3, dtype=dtype)
+        images = np.random.default_rng(0).normal(size=(4, 3, 5, 5)).astype(dtype)
+        out_dtype, grad_dtype = self._roundtrip_dtypes(layer, images)
+        assert out_dtype == np.dtype(dtype)
+        assert grad_dtype == np.dtype(dtype)
+        assert layer.running_mean.dtype == np.dtype(dtype)
+
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_dropout(self, dtype):
+        from repro.nn.layers import Dropout
+
+        layer = Dropout(0.4, rng=0)
+        inputs = np.ones((8, 12), dtype=dtype)
+        out = layer.forward(inputs)
+        grad_in = layer.backward(np.ones_like(out))
+        assert layer._mask.dtype == np.dtype(dtype)
+        assert out.dtype == np.dtype(dtype)
+        assert grad_in.dtype == np.dtype(dtype)
+
+    def test_dropout_mask_values_unchanged_at_float64(self):
+        """The dtype fix must not change the float64 mask stream."""
+        from repro.nn.layers import Dropout
+
+        layer = Dropout(0.4, rng=7)
+        inputs = np.ones((16, 10))
+        out = layer.forward(inputs)
+        keep = 0.6
+        reference = (
+            np.random.default_rng(7).random(inputs.shape) < keep
+        ) / keep
+        np.testing.assert_array_equal(layer._mask, reference)
+        np.testing.assert_array_equal(out, reference)
+
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_full_tiny_cnn_forward_backward(self, dtype):
+        model = TinyCNN(in_channels=1, image_size=8, rng=0, dtype=dtype)
+        model.zero_grad()
+        images = np.random.default_rng(1).normal(size=(4, 1, 8, 8)).astype(dtype)
+        logits = model.forward(images)
+        assert logits.dtype == np.dtype(dtype)
+        grad_in = model.backward(np.ones_like(logits) / logits.size)
+        assert grad_in.dtype == np.dtype(dtype)
+        assert all(
+            p.grad.dtype == np.dtype(dtype) for p in model.parameters()
+        )
+
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_full_mnist_cnn_style_padded_stack(self, dtype):
+        """Conv + padded MaxPool + Flatten + Dropout end to end."""
+        from repro.nn import ReLU, Sequential
+        from repro.nn.layers import Conv2d, Dropout, Flatten, MaxPool2d
+
+        model = Sequential(
+            Conv2d(1, 4, 5, padding=2, rng=0, dtype=dtype),
+            ReLU(),
+            MaxPool2d(3, stride=2, padding=1),
+            Flatten(),
+            Dropout(0.3, rng=1),
+            Linear(4 * 4 * 4, 3, rng=0, dtype=dtype),
+        )
+        model.zero_grad()
+        images = np.random.default_rng(2).normal(size=(2, 1, 8, 8)).astype(dtype)
+        logits = model.forward(images)
+        assert logits.dtype == np.dtype(dtype)
+        grad_in = model.backward(np.ones_like(logits))
+        assert grad_in.dtype == np.dtype(dtype)
+        assert all(
+            p.grad.dtype == np.dtype(dtype) for p in model.parameters()
+        )
+
+
 class TestArenaDtype:
     def test_default_float64(self):
         arena = ParameterArena(2, 10)
