@@ -20,7 +20,11 @@ code path, preserved verbatim behind ``use_arena=False``):
   cluster) vs the per-worker ``local_step`` loop;
 * ``conv_step_batch`` — the same comparison on the conv path (the
   TinyCNN preset stand-in: Conv/pool/Linear over synthetic images),
-  exercising the batched im2col + stacked-GEMM conv kernels.
+  exercising the batched im2col + stacked-GEMM conv kernels;
+* ``event_round`` — the discrete-event engine's hot paths: raw
+  :class:`repro.sim.EventQueue` push/pop throughput (pure bookkeeping —
+  the floor every async schedule pays per event) and the end-to-end
+  async-gossip step rate on the standard MLP workload.
 
 The dtype and batched-compression sections always run at n ∈ {32, 128}
 (they are cheap and those are the tracked scale points); the batched
@@ -51,13 +55,22 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.algorithms.asynchronous import AsyncGossip
 from repro.algorithms.psgd import PSGD
 from repro.algorithms.saps_psgd import SAPSPSGD
 from repro.compression import RandomMaskCompressor, TopKCompressor
 from repro.data import make_blobs, make_synthetic_images, partition_iid
+from repro.network.bandwidth import random_uniform_bandwidth
 from repro.network.transport import SimulatedNetwork
 from repro.nn import MLP, TinyCNN
-from repro.sim import ClusterTrainer, ExperimentConfig, make_workers
+from repro.sim import (
+    ClusterTrainer,
+    ConstantCompute,
+    EventQueue,
+    ExperimentConfig,
+    make_workers,
+    run_event_experiment,
+)
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_hot_paths.json"
@@ -270,6 +283,12 @@ def _time_loop_vs_batched(
     trainer = ClusterTrainer.build(batched_workers)
     assert trainer is not None, "workload must support the batched path"
 
+    vectorized_workers = make_workers(factory, partitions, config)
+    vectorized_trainer = ClusterTrainer.build(
+        vectorized_workers, sampler="vectorized", sampler_seed=7
+    )
+    assert vectorized_trainer is not None
+
     def loop():
         for worker in loop_workers:
             for _ in range(local_steps):
@@ -278,10 +297,16 @@ def _time_loop_vs_batched(
     def batched():
         trainer.batched_steps(local_steps)
 
+    def vectorized():
+        vectorized_trainer.batched_steps(local_steps)
+
     loop()  # warm-up
     batched()
+    vectorized()
     results = {"local_steps": local_steps}
-    for label, fn in (("loop", loop), ("batched", batched)):
+    for label, fn in (
+        ("loop", loop), ("batched", batched), ("vectorized", vectorized)
+    ):
         gc.collect()
         gc.disable()
         try:
@@ -292,6 +317,9 @@ def _time_loop_vs_batched(
         finally:
             gc.enable()
     results["speedup"] = results["loop"] / results["batched"]
+    # The stream-breaking one-generator sampler (opt-in) vs the loop:
+    # how much of the per-worker-RNG floor it removes at each scale.
+    results["vectorized_speedup"] = results["loop"] / results["vectorized"]
     return results
 
 
@@ -351,6 +379,66 @@ def bench_conv_step_batch(
     return _time_loop_vs_batched(partitions, factory, local_steps, repeats)
 
 
+def bench_event_round(num_workers: int, repeats: int) -> dict:
+    """The event engine's hot paths.
+
+    ``queue_events_per_second`` times raw EventQueue push+pop pairs (the
+    bookkeeping floor under every async schedule — gated in CI);
+    ``async_steps_per_second`` runs the Async-SAPS gossip variant
+    end-to-end on the standard MLP workload and reports executed local
+    steps per wall-clock second (numeric work included — informational).
+    """
+    results = {}
+
+    queue_ops = 50_000
+
+    def queue_churn():
+        queue = EventQueue()
+        # Interleaved pushes at pseudo-random-ish deterministic times,
+        # drained in between — the async engine's access pattern.
+        for i in range(queue_ops):
+            queue.push(float((i * 2_654_435_761) % 1_000_003), lambda t: None)
+            if i % 4 == 3:
+                queue.pop()
+        while queue:
+            queue.pop()
+
+    queue_churn()  # warm-up
+    best = _time(queue_churn, repeats)
+    results["queue_ops"] = queue_ops
+    results["queue_seconds"] = best
+    results["queue_events_per_second"] = queue_ops / best
+
+    partitions = _workload(num_workers)
+    config = ExperimentConfig(rounds=1, batch_size=4, lr=0.05, seed=7)
+    bandwidth = random_uniform_bandwidth(num_workers, rng=7)
+    network = SimulatedNetwork(num_workers, bandwidth=bandwidth)
+    algorithm = AsyncGossip(compression_ratio=20.0, base_seed=7)
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        result = run_event_experiment(
+            algorithm,
+            partitions,
+            partitions[0],
+            _model_factory(),
+            config,
+            network,
+            compute_model=ConstantCompute(0.01),
+            duration=2.0,
+            checkpoint_every=1.0,
+        )
+        wall = time.perf_counter() - start
+    finally:
+        gc.enable()
+    results["async_local_steps"] = result.total_local_steps
+    results["async_events"] = result.events_processed
+    results["async_wall_seconds"] = wall
+    results["async_steps_per_second"] = result.total_local_steps / wall
+    return results
+
+
 #: Scale points for the dtype / batched-compression sections (tracked in
 #: all modes — they are cheap even at n=128).
 DTYPE_BATCH_COUNTS = [32, 128]
@@ -363,6 +451,10 @@ CONV_STEP_COUNTS = [32, 128]
 #: modes; n=1024 is the acceptance point for the ≥5× target and the
 #: regime where per-worker Python dispatch dominated).
 LOCAL_STEP_COUNTS = [32, 128, 1024]
+
+#: Scale points for the event-engine section (tracked in all modes —
+#: the queue microbench is n-independent, the async gossip run cheap).
+EVENT_ROUND_COUNTS = [32]
 
 
 def run_suite(quick: bool, repeats: int) -> dict:
@@ -381,6 +473,7 @@ def run_suite(quick: bool, repeats: int) -> dict:
         "compression_batch": {},
         "local_step_batch": {},
         "conv_step_batch": {},
+        "event_round": {},
     }
     for n in worker_counts:
         print(f"n={n:4d}  flat round-trip ...", flush=True)
@@ -408,6 +501,9 @@ def run_suite(quick: bool, repeats: int) -> dict:
         report["conv_step_batch"][str(n)] = bench_conv_step_batch(
             n, max(repeats, 8)
         )
+    for n in EVENT_ROUND_COUNTS:
+        print(f"n={n:4d}  event engine (queue + async gossip) ...", flush=True)
+        report["event_round"][str(n)] = bench_event_round(n, max(repeats - 2, 2))
     return report
 
 
@@ -451,12 +547,20 @@ def render(report: dict) -> str:
     for n, row in report["local_step_batch"].items():
         lines.append(
             f"{'local_step':>16} {n:>5} {row['loop']:>12.3e} "
-            f"{row['batched']:>12.3e} {row['speedup']:>7.1f}x"
+            f"{row['batched']:>12.3e} {row['speedup']:>7.1f}x "
+            f"(vec {row['vectorized_speedup']:.1f}x)"
         )
     for n, row in report["conv_step_batch"].items():
         lines.append(
             f"{'conv_step':>16} {n:>5} {row['loop']:>12.3e} "
             f"{row['batched']:>12.3e} {row['speedup']:>7.1f}x"
+        )
+    for n, row in report["event_round"].items():
+        lines.append(
+            f"{'event_round':>16} {n:>5} "
+            f"queue {row['queue_events_per_second']:>10.0f} ev/s  "
+            f"async {row['async_steps_per_second']:>8.0f} steps/s "
+            f"({row['async_events']} events)"
         )
     return "\n".join(lines)
 

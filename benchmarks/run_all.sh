@@ -42,4 +42,27 @@ for name in ("local_step_batch", "conv_step_batch"):
         f"{name} gate ok:",
         {n: f"{row['speedup']:.1f}x" for n, row in section.items()},
     )
+
+# Event-engine gate: the queue bookkeeping floor must stay cheap (the
+# async schedules pay it per event), and the async gossip run must have
+# actually executed work.
+section = report.get("event_round", {})
+if not section:
+    sys.exit("BENCH_hot_paths.json has no event_round section")
+for n, row in section.items():
+    if row["queue_events_per_second"] < 20_000:
+        sys.exit(
+            f"event_round queue throughput regressed: "
+            f"{row['queue_events_per_second']:.0f} ev/s at n={n}"
+        )
+    if row["async_local_steps"] <= 0:
+        sys.exit(f"event_round async run executed no local steps at n={n}")
+print(
+    "event_round gate ok:",
+    {
+        n: f"{row['queue_events_per_second'] / 1e6:.2f}M ev/s, "
+        f"{row['async_steps_per_second']:.0f} steps/s"
+        for n, row in section.items()
+    },
+)
 PY

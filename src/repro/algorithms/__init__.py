@@ -19,6 +19,12 @@ from repro.algorithms.psgd import PSGD, TopKPSGD
 from repro.algorithms.fedavg import FedAvg, SparseFedAvg
 from repro.algorithms.decentralized import DCDPSGD, DPSGD
 from repro.algorithms.saps_psgd import RandomChoosePSGD, SAPSPSGD
+from repro.algorithms.asynchronous import (
+    AsyncAlgorithm,
+    AsyncDPSGD,
+    AsyncFedAvg,
+    AsyncGossip,
+)
 
 __all__ = [
     "DistributedAlgorithm",
@@ -30,4 +36,8 @@ __all__ = [
     "DCDPSGD",
     "SAPSPSGD",
     "RandomChoosePSGD",
+    "AsyncAlgorithm",
+    "AsyncDPSGD",
+    "AsyncFedAvg",
+    "AsyncGossip",
 ]

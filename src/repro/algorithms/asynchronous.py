@@ -1,0 +1,490 @@
+"""Asynchronous algorithm variants for the event engine.
+
+Three asynchronous counterparts of the compared families, all driven by
+:class:`repro.sim.events.EventEngine` (no synchronous round barrier) and
+all reusing the arena / batched-kernel numeric substrate:
+
+* :class:`AsyncGossip` — SAPS-style pairwise masked gossip where a pair
+  exchanges **as soon as both endpoints are free**: a worker finishing
+  its local steps pairs with a waiting peer (bandwidth-greedy or random)
+  or waits for the next arrival.  No straggler ever gates the cluster.
+* :class:`AsyncDPSGD` — AD-PSGD-style asynchronous decentralized SGD
+  (Lian et al., 2018): gradient computation overlaps pairwise model
+  averaging, and each applied gradient's **staleness** (averagings that
+  touched the worker's model between gradient computation and
+  application) is tracked.
+* :class:`AsyncFedAvg` — FedAsync-style server (Xie et al., 2019):
+  workers download/compute/upload on their own clocks and the server
+  mixes each upload with a **staleness-attenuated** weight
+  ``alpha / (1 + staleness) ** staleness_power``.
+
+The variants subclass :class:`DistributedAlgorithm` so ``setup`` gives
+them the shared arena, the batched :class:`ClusterTrainer` and the
+initial broadcast for free; instead of ``run_round`` they expose
+``start()`` plus event handlers the engine fires.  Churn and loss models
+are read off the engine (one scenario timeline for everything): an
+offline worker sleeps a cycle and retries, a lost exchange leaves both
+peers unmixed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.algorithms.base import DistributedAlgorithm
+from repro.compression.base import BYTES_PER_VALUE
+from repro.compression.random_mask import generate_mask
+from repro.network.metrics import TrafficMeter
+from repro.utils.rng import derive_seed
+
+
+class AsyncAlgorithm(DistributedAlgorithm):
+    """Shared per-worker cycle machinery of the asynchronous variants.
+
+    A worker's life is a loop of *cycles*; what a cycle does is
+    subclass-specific (:meth:`_start_cycle`).  The base class handles
+    binding to the engine, churn gating (an offline worker idles one
+    compute interval and retries), local-step execution through the
+    batched trainer when available, and running train-loss accounting.
+    """
+
+    is_asynchronous = True
+
+    def __init__(self, local_steps: int = 1) -> None:
+        super().__init__()
+        if local_steps < 1:
+            raise ValueError(f"local_steps must be >= 1, got {local_steps}")
+        self.local_steps = int(local_steps)
+        self.engine = None
+        self.total_local_steps = 0
+        #: Per-application staleness samples (variant-specific meaning;
+        #: empty for variants without a staleness notion).
+        self.staleness_log: List[int] = []
+        self._cycle_counts: Optional[np.ndarray] = None
+        self._loss_sum = 0.0
+        self._loss_events = 0
+
+    # ------------------------------------------------------------------
+    # engine protocol
+    # ------------------------------------------------------------------
+    def bind(self, engine) -> None:
+        if engine.num_workers != self.num_workers:
+            raise ValueError(
+                f"engine has {engine.num_workers} workers, algorithm "
+                f"has {self.num_workers}"
+            )
+        self.engine = engine
+
+    def start(self) -> None:
+        """Schedule every worker's first cycle at t = 0."""
+        self._cycle_counts = np.zeros(self.num_workers, dtype=np.int64)
+        for rank in range(self.num_workers):
+            self._begin_cycle(rank, 0.0)
+
+    def run_round(self, round_index: int) -> float:
+        raise NotImplementedError(
+            "asynchronous variants run on the EventEngine, not in rounds"
+        )
+
+    @property
+    def mean_train_loss(self) -> float:
+        """Running mean of all local-step losses so far."""
+        if self._loss_events == 0:
+            return float("nan")
+        return self._loss_sum / self._loss_events
+
+    # ------------------------------------------------------------------
+    # the worker cycle
+    # ------------------------------------------------------------------
+    def _begin_cycle(self, rank: int, start: float) -> None:
+        cycle = int(self._cycle_counts[rank])
+        self._cycle_counts[rank] += 1
+        engine = self.engine
+        if engine.churn is not None:
+            active = engine.churn.active_at(cycle)
+            if not active[rank]:
+                # Offline this cycle: sleep roughly one compute interval
+                # and try the next cycle (a device rejoining later).
+                pause = engine.compute_seconds(cycle, rank, self.local_steps)
+                if pause <= 0.0:
+                    pause = 1.0
+                engine.schedule(
+                    start + pause, lambda t, r=rank: self._begin_cycle(r, t)
+                )
+                return
+        self._start_cycle(rank, cycle, start)
+
+    def _start_cycle(self, rank: int, cycle: int, start: float) -> None:
+        """Default cycle: compute ``local_steps`` then hand over to
+        :meth:`_on_compute_done` (gossip-style variants)."""
+        engine = self.engine
+        duration = engine.compute_seconds(cycle, rank, self.local_steps)
+        engine.trace.add(rank, "compute", start, start + duration)
+        engine.worker_free[rank] = start + duration
+        engine.schedule(
+            start + duration, lambda t, r=rank: self._on_compute_done(r, t)
+        )
+
+    def _on_compute_done(self, rank: int, now: float) -> None:
+        raise NotImplementedError
+
+    def _run_local(self, rank: int, steps: Optional[int] = None) -> float:
+        """Execute the local steps numerically (batched kernels when the
+        trainer is attached — same per-worker RNG streams as the loop);
+        returns the mean loss."""
+        k = self.local_steps if steps is None else steps
+        if self.cluster_trainer is not None:
+            losses = self.cluster_trainer.batched_steps(
+                k, ranks=np.array([rank], dtype=np.intp)
+            )
+            loss = float(np.mean(losses))
+        else:
+            loss = float(
+                np.mean([self.workers[rank].local_step() for _ in range(k)])
+            )
+        self.total_local_steps += k
+        self._loss_sum += loss * k
+        self._loss_events += k
+        return loss
+
+
+class AsyncGossip(AsyncAlgorithm):
+    """Asynchronous SAPS-style pairwise gossip.
+
+    A worker that finishes its local steps enters a waiting pool; the
+    first compatible arrival pairs with it and the two exchange the
+    seeded-random-masked model components (Eq. 7's average, the exact
+    math of the synchronous SAPS exchange) over their link.  ``peer_choice``
+    selects among multiple waiting peers: ``"bandwidth"`` picks the
+    fastest link to the arriving worker (the adaptive flavour),
+    ``"random"`` draws uniformly.  A lost exchange (engine loss model)
+    leaves both peers unmixed — they just start their next cycle.
+    """
+
+    name = "Async-SAPS"
+
+    def __init__(
+        self,
+        compression_ratio: float = 100.0,
+        local_steps: int = 1,
+        peer_choice: str = "bandwidth",
+        base_seed: int = 0,
+    ) -> None:
+        super().__init__(local_steps=local_steps)
+        if compression_ratio < 1.0:
+            raise ValueError("compression_ratio must be >= 1")
+        if peer_choice not in ("bandwidth", "random"):
+            raise ValueError(f"unknown peer_choice {peer_choice!r}")
+        self.compression_ratio = float(compression_ratio)
+        self.peer_choice = peer_choice
+        self.base_seed = int(base_seed)
+        self.exchange_count = 0
+        self.dropped_exchanges = 0
+        self._waiting: List[int] = []
+
+    def start(self) -> None:
+        self._waiting = []
+        super().start()
+
+    def _pick_partner(self, rank: int) -> int:
+        if len(self._waiting) == 1:
+            return self._waiting[0]
+        if self.peer_choice == "random":
+            return self._waiting[
+                int(self._rng.integers(len(self._waiting)))
+            ]
+        bandwidth = self.network.bandwidth
+        if bandwidth is None:
+            return self._waiting[0]  # FIFO: all links equal
+        best = self._waiting[0]
+        for peer in self._waiting[1:]:
+            if bandwidth[rank, peer] > bandwidth[rank, best]:
+                best = peer
+        return best
+
+    def _on_compute_done(self, rank: int, now: float) -> None:
+        self._run_local(rank)
+        if not self._waiting:
+            self._waiting.append(rank)
+            return
+        partner = self._pick_partner(rank)
+        self._waiting.remove(partner)
+        index = self.exchange_count
+        self.exchange_count += 1
+        engine = self.engine
+        if engine.loss_model is not None and engine.loss_model.exchange_fails(
+            index, rank, partner
+        ):
+            # Lost exchange: both keep their local models and recompute.
+            self.dropped_exchanges += 1
+            self._begin_cycle(rank, now)
+            self._begin_cycle(partner, now)
+            return
+        seed = derive_seed(self.base_seed, "mask", index)
+        mask = generate_mask(self.model_size, self.compression_ratio, seed)
+        indices = np.flatnonzero(mask)
+        payload_bytes = int(indices.size) * BYTES_PER_VALUE
+        _, end_a = engine.start_transfer(now, rank, partner, payload_bytes, index)
+        _, end_b = engine.start_transfer(now, partner, rank, payload_bytes, index)
+        done = max(end_a, end_b, now)
+        engine.schedule(
+            done,
+            lambda t, a=rank, b=partner, idx=indices: self._merge(a, b, idx, t),
+        )
+
+    def _merge(self, a: int, b: int, indices: np.ndarray, now: float) -> None:
+        """Eq. 7 on the masked components of the pair — same math as the
+        synchronous SAPS fallback path."""
+        if self.arena is not None:
+            replicas = self.arena.data
+            averaged = 0.5 * (replicas[a][indices] + replicas[b][indices])
+            replicas[a][indices] = averaged
+            replicas[b][indices] = averaged
+        else:
+            params_a = self.workers[a].get_params()
+            params_b = self.workers[b].get_params()
+            averaged = 0.5 * (params_a[indices] + params_b[indices])
+            params_a[indices] = averaged
+            params_b[indices] = averaged
+            self.workers[a].set_params(params_a)
+            self.workers[b].set_params(params_b)
+        self._begin_cycle(a, now)
+        self._begin_cycle(b, now)
+
+
+class AsyncDPSGD(AsyncAlgorithm):
+    """AD-PSGD-style asynchronous decentralized SGD with staleness.
+
+    Each worker loops: compute one mini-batch gradient, pick a uniform
+    random peer, atomically average the two models (the communication
+    thread — it does **not** wait for the peer's compute), then apply the
+    held gradient to its own averaged model.  The gradient was taken at
+    parameters that other pairs may have averaged over in the meantime;
+    the number of such foreign mixings is recorded in
+    :attr:`staleness_log` per applied gradient.
+    """
+
+    name = "Async-D-PSGD"
+
+    def __init__(self, local_steps: int = 1) -> None:
+        super().__init__(local_steps=local_steps)
+        self._mix_counts: Optional[np.ndarray] = None
+        self.exchange_count = 0
+
+    def start(self) -> None:
+        self._mix_counts = np.zeros(self.num_workers, dtype=np.int64)
+        super().start()
+
+    def _on_compute_done(self, rank: int, now: float) -> None:
+        if self.cluster_trainer is not None:
+            losses = self.cluster_trainer.compute_gradients(
+                ranks=np.array([rank], dtype=np.intp)
+            )
+            loss = float(losses[0])
+            gradient = self.arena.grads[rank].copy()
+        else:
+            loss, gradient = self.workers[rank].compute_gradient()
+            gradient = np.asarray(gradient).copy()
+        self.total_local_steps += 1
+        self._loss_sum += loss
+        self._loss_events += 1
+        base_mixes = int(self._mix_counts[rank])
+
+        peer = int(self._rng.integers(self.num_workers - 1))
+        if peer >= rank:
+            peer += 1
+        index = self.exchange_count
+        self.exchange_count += 1
+        engine = self.engine
+        if engine.loss_model is not None and engine.loss_model.exchange_fails(
+            index, rank, peer
+        ):
+            # Lost exchange: skip the averaging, apply the gradient now.
+            self._apply(rank, gradient, base_mixes, now)
+            return
+        model_bytes = self.model_size * BYTES_PER_VALUE
+        _, end_a = engine.start_transfer(now, rank, peer, model_bytes, index)
+        _, end_b = engine.start_transfer(now, peer, rank, model_bytes, index)
+        done = max(end_a, end_b, now)
+        engine.schedule(
+            done,
+            lambda t, r=rank, p=peer, g=gradient, b=base_mixes: (
+                self._average_then_apply(r, p, g, b, t)
+            ),
+        )
+
+    def _row(self, rank: int) -> np.ndarray:
+        if self.arena is not None:
+            return self.arena.data[rank]
+        return self.workers[rank].get_params()
+
+    def _average_then_apply(
+        self, rank: int, peer: int, gradient: np.ndarray, base_mixes: int,
+        now: float,
+    ) -> None:
+        # Atomic pairwise averaging: x_i, x_j <- (x_i + x_j) / 2.  The
+        # peer keeps computing through it (that is AD-PSGD's overlap).
+        if self.arena is not None:
+            replicas = self.arena.data
+            mean = 0.5 * (replicas[rank] + replicas[peer])
+            replicas[rank] = mean
+            replicas[peer] = mean
+        else:
+            params_a = self.workers[rank].get_params()
+            params_b = self.workers[peer].get_params()
+            mean = 0.5 * (params_a + params_b)
+            self.workers[rank].set_params(mean)
+            self.workers[peer].set_params(mean)
+        self._mix_counts[rank] += 1
+        self._mix_counts[peer] += 1
+        self._apply(rank, gradient, base_mixes, now, own_mix=1)
+
+    def _apply(
+        self, rank: int, gradient: np.ndarray, base_mixes: int, now: float,
+        own_mix: int = 0,
+    ) -> None:
+        """Apply the held gradient; staleness = foreign mixings of this
+        worker's model since the gradient was computed."""
+        staleness = int(self._mix_counts[rank]) - base_mixes - own_mix
+        self.staleness_log.append(max(staleness, 0))
+        lr = self.workers[rank].optimizer.lr
+        if self.arena is not None:
+            self.arena.data[rank] -= np.asarray(
+                lr * gradient, dtype=self.arena.dtype
+            )
+        else:
+            worker = self.workers[rank]
+            worker.set_params(worker.get_params() - lr * gradient)
+        self.workers[rank].steps_taken += 1
+        self._begin_cycle(rank, now)
+
+
+class AsyncFedAvg(AsyncAlgorithm):
+    """FedAsync-style federated averaging with a staleness-weighted server.
+
+    Each worker loops on its own clock: download the global model
+    (server's transmit link), run ``local_steps`` local SGD steps,
+    upload (server's receive link); the server immediately mixes the
+    upload in with weight ``mixing / (1 + staleness) ** staleness_power``
+    where staleness is the number of server updates since this worker's
+    download.  Under contention (the event engine's default) concurrent
+    downloads/uploads serialize on the shared server link ends — exactly
+    the satellite contention model.
+
+    The engine's loss model applies to the upload leg: a failed upload
+    is simply never mixed in (the worker pays the transfer time and
+    starts a fresh cycle).  Loss models are queried with the pair
+    ``(rank, rank)`` so per-link loss matrices stay in range — their
+    diagonal doubles as the worker↔server channel rate.
+    """
+
+    name = "Async-FedAvg"
+
+    def __init__(
+        self,
+        local_steps: int = 5,
+        mixing: float = 0.6,
+        staleness_power: float = 1.0,
+    ) -> None:
+        super().__init__(local_steps=local_steps)
+        if not 0.0 < mixing <= 1.0:
+            raise ValueError(f"mixing must be in (0, 1], got {mixing}")
+        if staleness_power < 0.0:
+            raise ValueError(
+                f"staleness_power must be >= 0, got {staleness_power}"
+            )
+        self.mixing = float(mixing)
+        self.staleness_power = float(staleness_power)
+        self.global_model: Optional[np.ndarray] = None
+        self.server_version = 0
+        self.upload_count = 0
+        #: Uploads discarded by the engine's loss model.
+        self.dropped_uploads = 0
+
+    def _after_setup(self) -> None:
+        self.global_model = self.workers[0].snapshot_params()
+        self.server_version = 0
+        if self.network.server_bandwidth is None and self.network.bandwidth is not None:
+            # The paper's Fig. 6 convention: the server gets the best link.
+            self.network.server_bandwidth = float(self.network.bandwidth.max())
+
+    def _start_cycle(self, rank: int, cycle: int, start: float) -> None:
+        engine = self.engine
+        model_bytes = self.model_size * BYTES_PER_VALUE
+        # The download carries the global model as of its start.
+        snapshot = self.global_model.copy()
+        base_version = self.server_version
+        _, dl_end = engine.start_transfer(
+            start, TrafficMeter.SERVER, rank, model_bytes, self.upload_count
+        )
+        engine.schedule(
+            max(dl_end, start),
+            lambda t, r=rank, c=cycle, s=snapshot, v=base_version: (
+                self._on_download(r, c, s, v, t)
+            ),
+        )
+
+    def _on_download(
+        self, rank: int, cycle: int, snapshot: np.ndarray, base_version: int,
+        now: float,
+    ) -> None:
+        if self.arena is not None:
+            self.arena.data[rank] = np.asarray(snapshot, dtype=self.arena.dtype)
+        else:
+            self.workers[rank].set_params(snapshot)
+        engine = self.engine
+        duration = engine.compute_seconds(cycle, rank, self.local_steps)
+        engine.trace.add(rank, "compute", now, now + duration)
+        engine.worker_free[rank] = now + duration
+        engine.schedule(
+            now + duration,
+            lambda t, r=rank, v=base_version: self._on_local_done(r, v, t),
+        )
+
+    def _on_local_done(self, rank: int, base_version: int, now: float) -> None:
+        self._run_local(rank)
+        engine = self.engine
+        model_bytes = self.model_size * BYTES_PER_VALUE
+        index = self.upload_count
+        self.upload_count += 1
+        if engine.loss_model is not None and engine.loss_model.exchange_fails(
+            index, rank, rank
+        ):
+            # The upload is lost in transit: the worker still pays the
+            # transfer time, but the server never sees the model.
+            self.dropped_uploads += 1
+            _, ul_end = engine.start_transfer(
+                now, rank, TrafficMeter.SERVER, model_bytes, index
+            )
+            engine.schedule(
+                max(ul_end, now), lambda t, r=rank: self._begin_cycle(r, t)
+            )
+            return
+        _, ul_end = engine.start_transfer(
+            now, rank, TrafficMeter.SERVER, model_bytes, index
+        )
+        engine.schedule(
+            max(ul_end, now),
+            lambda t, r=rank, v=base_version: self._on_upload(r, v, t),
+        )
+
+    def _on_upload(self, rank: int, base_version: int, now: float) -> None:
+        staleness = self.server_version - base_version
+        self.staleness_log.append(staleness)
+        alpha = self.mixing / float((1 + staleness) ** self.staleness_power)
+        upload = self._upload_vector(rank)
+        mixed = (1.0 - alpha) * self.global_model + alpha * upload
+        self.global_model = mixed.astype(self.global_model.dtype, copy=False)
+        self.server_version += 1
+        self._begin_cycle(rank, now)
+
+    def _upload_vector(self, rank: int) -> np.ndarray:
+        if self.arena is not None:
+            return self.arena.data[rank]
+        return self.workers[rank].get_params()
+
+    def consensus_model(self) -> np.ndarray:
+        """The evaluated model is the server's global model."""
+        return self.global_model.copy()

@@ -103,7 +103,9 @@ class DPSGD(DistributedAlgorithm):
                 )
                 if self.network.bandwidth is not None:
                     self.network.timer.add_transfer(
-                        model_bytes, self._ring_link_bandwidth(neighbor, rank)
+                        model_bytes,
+                        self._ring_link_bandwidth(neighbor, rank),
+                        endpoints=self.network.link_endpoints(neighbor, rank),
                     )
 
 
@@ -177,6 +179,7 @@ class DCDPSGD(DPSGD):
                     self.network.timer.add_transfer(
                         payload_bytes[rank],
                         self._ring_link_bandwidth(rank, neighbor),
+                        endpoints=self.network.link_endpoints(rank, neighbor),
                     )
         self.network.finish_round()
         return float(np.mean(losses))

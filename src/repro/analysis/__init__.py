@@ -32,6 +32,16 @@ from repro.analysis.crossover import (
     dominance_summary,
     find_crossovers,
 )
+from repro.analysis.timeline import (
+    TimeToAccuracy,
+    WorkerTimeline,
+    mean_utilization,
+    render_time_to_accuracy,
+    render_worker_timeline,
+    time_to_accuracy,
+    time_to_accuracy_table,
+    worker_timeline,
+)
 
 __all__ = [
     "CostModel",
@@ -58,4 +68,12 @@ __all__ = [
     "accuracy_at_cost",
     "find_crossovers",
     "dominance_summary",
+    "TimeToAccuracy",
+    "WorkerTimeline",
+    "time_to_accuracy",
+    "time_to_accuracy_table",
+    "render_time_to_accuracy",
+    "worker_timeline",
+    "render_worker_timeline",
+    "mean_utilization",
 ]

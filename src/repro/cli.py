@@ -20,6 +20,9 @@ from typing import List, Optional
 import numpy as np
 
 from repro.algorithms import (
+    AsyncDPSGD,
+    AsyncFedAvg,
+    AsyncGossip,
     DCDPSGD,
     DPSGD,
     FedAvg,
@@ -44,10 +47,14 @@ from repro.network import (
 )
 from repro.nn import MLP
 from repro.sim import (
+    ConstantCompute,
     ExperimentConfig,
+    HeterogeneousCompute,
     SuiteSettings,
     run_comparison,
+    run_event_experiment,
     run_experiment,
+    run_sync_timeline,
 )
 from repro.theory import consensus_factor, estimate_rho
 
@@ -62,6 +69,18 @@ ALGORITHM_FACTORIES = {
         compression_ratio=args.compression, base_seed=args.seed,
         local_steps=args.local_steps,
     ),
+}
+
+#: Asynchronous counterparts used by ``--engine event`` (algorithms
+#: without one run on the event timeline via the synchronous replay).
+ASYNC_FACTORIES = {
+    "saps-psgd": lambda args: AsyncGossip(
+        compression_ratio=args.compression,
+        base_seed=args.seed,
+        local_steps=max(args.local_steps, 1),
+    ),
+    "d-psgd": lambda args: AsyncDPSGD(),
+    "fedavg": lambda args: AsyncFedAvg(),
 }
 
 
@@ -104,6 +123,7 @@ def _config(args) -> ExperimentConfig:
         seed=args.seed,
         dtype=args.dtype,
         local_steps=args.local_steps,
+        engine=getattr(args, "engine", "sync"),
     )
 
 
@@ -125,6 +145,78 @@ def _history_table(result) -> str:
     )
 
 
+def _build_compute_model(args):
+    """Compute-time model for the event engine: constant by default,
+    heterogeneous (log-uniform worker means) when ``--compute-spread``
+    exceeds 1."""
+    if args.compute_spread > 1.0:
+        return HeterogeneousCompute(
+            args.workers,
+            mean_step_time=args.compute_time,
+            spread=args.compute_spread,
+            rng=args.seed,
+        )
+    return ConstantCompute(args.compute_time)
+
+
+def _timed_history_table(result) -> str:
+    rows = [
+        [
+            round(record.time_s, 3),
+            round(record.train_loss, 4),
+            round(100 * record.val_accuracy, 2),
+            round(record.worker_traffic_mb, 5),
+            record.local_steps,
+            round(record.mean_staleness, 2),
+        ]
+        for record in result.history
+    ]
+    return render_table(
+        ["time [s]", "train loss", "val acc [%]", "traffic [MB]",
+         "local steps", "staleness"],
+        rows,
+        title=f"{result.algorithm} simulated-time trajectory",
+    )
+
+
+def cmd_run_event(args, partitions, validation, factory, config) -> int:
+    from repro.analysis import render_worker_timeline, worker_timeline
+
+    bandwidth = _build_bandwidth(args)
+    network = SimulatedNetwork(
+        args.workers,
+        bandwidth=bandwidth,
+        server_bandwidth=(
+            float(bandwidth.max()) if bandwidth is not None else None
+        ),
+    )
+    compute_model = _build_compute_model(args)
+    async_factory = ASYNC_FACTORIES.get(args.algorithm)
+    if async_factory is not None:
+        algorithm = async_factory(args)
+        result = run_event_experiment(
+            algorithm, partitions, validation, factory, config, network,
+            compute_model=compute_model, duration=args.sim_time,
+            checkpoint_every=args.checkpoint_every,
+        )
+    else:
+        algorithm = ALGORITHM_FACTORIES[args.algorithm](args)
+        result = run_sync_timeline(
+            algorithm, partitions, validation, factory, config, network,
+            compute_model=compute_model,
+        )
+    print(_timed_history_table(result))
+    if result.trace is not None and result.horizon > 0:
+        print()
+        print(render_worker_timeline(worker_timeline(result.trace, result.horizon)))
+    if args.output:
+        print(
+            "\n--output is a sync-engine feature; event-engine trajectories "
+            "are printed only"
+        )
+    return 0
+
+
 def cmd_run(args) -> int:
     if args.preset:
         from repro.presets import instantiate_preset
@@ -138,11 +230,14 @@ def cmd_run(args) -> int:
             seed=args.seed,
             dtype=args.dtype,
             local_steps=args.local_steps,
+            engine=args.engine,
         )
         print(f"Preset: {args.preset} (fast={not args.full_model})")
     else:
         partitions, validation, factory = _build_workload(args)
         config = _config(args)
+    if config.engine == "event":
+        return cmd_run_event(args, partitions, validation, factory, config)
     bandwidth = _build_bandwidth(args)
     network = SimulatedNetwork(
         args.workers,
@@ -335,6 +430,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--full-model",
         action="store_true",
         help="with --preset: use the paper's full architecture (slow)",
+    )
+    run_p.add_argument(
+        "--engine",
+        choices=["sync", "event"],
+        default="sync",
+        help="execution engine: 'sync' runs round-synchronous barriers "
+        "(default, bit-identical to historical runs); 'event' runs the "
+        "discrete-event engine — asynchronous variants for saps-psgd/"
+        "d-psgd/fedavg, synchronous replay on the simulated timeline "
+        "for the rest",
+    )
+    run_p.add_argument(
+        "--sim-time", type=float, default=30.0,
+        help="event engine: simulated seconds to run (async variants)",
+    )
+    run_p.add_argument(
+        "--checkpoint-every", type=float, default=None,
+        help="event engine: simulated seconds between metric checkpoints "
+        "(default: sim-time / 10)",
+    )
+    run_p.add_argument(
+        "--compute-time", type=float, default=0.05,
+        help="event engine: mean seconds per local step",
+    )
+    run_p.add_argument(
+        "--compute-spread", type=float, default=1.0,
+        help="event engine: straggler spread (1 = constant compute; "
+        ">1 draws per-worker means log-uniform over [t/s, t*s])",
     )
     common(run_p)
     run_p.set_defaults(func=cmd_run)

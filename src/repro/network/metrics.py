@@ -104,15 +104,37 @@ class CommunicationTimer:
     the paper's Fig. 6).  Serial phases within a round (e.g. FedAvg's
     download-then-upload) can be accounted by calling
     :meth:`finish_round` per phase.
+
+    With ``contention=True`` transfers that declare *endpoints*
+    (directional link ends, e.g. ``("tx", sender)`` / ``("rx", receiver)``)
+    additionally serialize per endpoint: the round's elapsed time becomes
+    the maximum of the slowest single transfer and the busiest endpoint's
+    summed load — n concurrent uploads through one server link take n
+    transfer times instead of one.  Off by default so Fig. 6-style
+    outputs are unchanged; the event engine turns it on.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, contention: bool = False) -> None:
+        self.contention = bool(contention)
         self.total_seconds = 0.0
         self.round_seconds: List[float] = []
         self._current: List[float] = []
+        self._current_endpoints: List[Optional[Tuple]] = []
+        #: ``(duration_s, endpoints)`` of the most recently finished
+        #: round/phase — the event engine replays these on its timeline.
+        self.last_round_transfers: List[Tuple[float, Optional[Tuple]]] = []
 
-    def add_transfer(self, num_bytes: float, bandwidth_mb_per_s: float) -> float:
-        """Register one transfer in the current round; returns its duration."""
+    def add_transfer(
+        self,
+        num_bytes: float,
+        bandwidth_mb_per_s: float,
+        endpoints: Optional[Tuple] = None,
+    ) -> float:
+        """Register one transfer in the current round; returns its duration.
+
+        ``endpoints`` names the shared directional link ends this transfer
+        occupies (any hashable keys); they only matter under contention.
+        """
         if num_bytes < 0:
             raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
         if num_bytes == 0:
@@ -123,14 +145,66 @@ class CommunicationTimer:
             )
         duration = (num_bytes / MB) / bandwidth_mb_per_s
         self._current.append(duration)
+        self._current_endpoints.append(
+            tuple(endpoints) if endpoints is not None else None
+        )
         return duration
 
+    @staticmethod
+    def reserve_endpoints(
+        start: float,
+        duration: float,
+        endpoints: Optional[Tuple],
+        link_free: Dict,
+    ) -> Tuple[float, float]:
+        """Greedy in-order link reservation: the transfer begins once
+        ``start`` is reached and every declared endpoint is free, then
+        occupies all of them for ``duration``.  Returns ``(begin, end)``
+        and advances ``link_free`` in place.  The single contention
+        algorithm shared by this timer and the event engine
+        (:class:`repro.sim.events.EventEngine`), so both surfaces report
+        identical times for identical transfer sequences."""
+        begin = start
+        for endpoint in endpoints or ():
+            begin = max(begin, link_free.get(endpoint, 0.0))
+        end = begin + duration
+        for endpoint in endpoints or ():
+            link_free[endpoint] = end
+        return begin, end
+
+    @classmethod
+    def contended_elapsed(
+        cls, durations: List[float], endpoints_list: List[Optional[Tuple]]
+    ) -> float:
+        """Round time under per-endpoint serialization: transfers are
+        laid out in report order through per-endpoint link clocks
+        (:meth:`reserve_endpoints`); the round ends when the last one
+        does.  Transfers without declared endpoints only contribute
+        their own duration (they contend with nothing)."""
+        elapsed = 0.0
+        link_free: Dict = {}
+        for duration, endpoints in zip(durations, endpoints_list):
+            _, end = cls.reserve_endpoints(0.0, duration, endpoints, link_free)
+            if end > elapsed:
+                elapsed = end
+        return elapsed
+
     def finish_round(self) -> float:
-        """Close the round: elapsed = slowest concurrent transfer."""
-        elapsed = max(self._current) if self._current else 0.0
+        """Close the round: elapsed = slowest concurrent transfer (plus
+        per-endpoint serialization when contention is on)."""
+        if self.contention:
+            elapsed = self.contended_elapsed(
+                self._current, self._current_endpoints
+            )
+        else:
+            elapsed = max(self._current) if self._current else 0.0
+        self.last_round_transfers = list(
+            zip(self._current, self._current_endpoints)
+        )
         self.round_seconds.append(elapsed)
         self.total_seconds += elapsed
         self._current = []
+        self._current_endpoints = []
         return elapsed
 
 

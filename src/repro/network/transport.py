@@ -31,6 +31,13 @@ class SimulatedNetwork:
         Link speed between the central node and any worker, used by the
         centralized baselines.  The paper's Fig. 6 setup gives the server
         "the maximum bandwidth"; pass that value here.
+    contention:
+        Opt-in per-endpoint link contention: concurrent transfers that
+        share a directional link end (a worker's uplink, the server's
+        downlink) serialize instead of all proceeding at full speed.
+        Off by default — existing Fig. 6-style outputs are unchanged —
+        and on by default inside the event engine
+        (:mod:`repro.sim.events`).
     """
 
     def __init__(
@@ -38,6 +45,7 @@ class SimulatedNetwork:
         num_workers: int,
         bandwidth: Optional[np.ndarray] = None,
         server_bandwidth: Optional[float] = None,
+        contention: bool = False,
     ) -> None:
         self.num_workers = num_workers
         if bandwidth is not None:
@@ -50,7 +58,22 @@ class SimulatedNetwork:
         self.bandwidth = bandwidth
         self.server_bandwidth = server_bandwidth
         self.meter = TrafficMeter(num_workers)
-        self.timer = CommunicationTimer()
+        self.timer = CommunicationTimer(contention=contention)
+
+    @property
+    def contention(self) -> bool:
+        """Whether per-endpoint link contention is modelled."""
+        return self.timer.contention
+
+    @staticmethod
+    def link_endpoints(sender: int, receiver: int) -> Tuple:
+        """Directional link-end keys of one transfer.
+
+        Links are full duplex: ``a → b`` occupies ``a``'s transmit end
+        and ``b``'s receive end, so a simultaneous ``b → a`` does not
+        contend with it — but two concurrent sends out of ``a`` do.
+        """
+        return (("tx", sender), ("rx", receiver))
 
     # ------------------------------------------------------------------
     # transfers
@@ -71,7 +94,9 @@ class SimulatedNetwork:
         self.meter.record(round_index, sender, receiver, num_bytes)
         link = self.link_bandwidth(sender, receiver)
         if link is not None:
-            self.timer.add_transfer(num_bytes, link)
+            self.timer.add_transfer(
+                num_bytes, link, endpoints=self.link_endpoints(sender, receiver)
+            )
         return num_bytes
 
     def send_bytes(
@@ -81,7 +106,9 @@ class SimulatedNetwork:
         self.meter.record(round_index, sender, receiver, num_bytes)
         link = self.link_bandwidth(sender, receiver)
         if link is not None:
-            self.timer.add_transfer(num_bytes, link)
+            self.timer.add_transfer(
+                num_bytes, link, endpoints=self.link_endpoints(sender, receiver)
+            )
         return num_bytes
 
     def exchange(

@@ -143,6 +143,7 @@ def instantiate_preset(
     seed: int = 0,
     dtype: str = "float64",
     local_steps: int = 1,
+    engine: str = "sync",
 ) -> Tuple[List[Dataset], Dataset, Callable[[], Module], ExperimentConfig]:
     """Build (partitions, validation, model_factory, config) for a preset.
 
@@ -161,6 +162,9 @@ def instantiate_preset(
     ``"float32"`` for the reduced-precision path); it flows into both the
     model factory and ``ExperimentConfig.dtype``.  ``local_steps`` lands
     in ``ExperimentConfig.local_steps`` for factories with a local phase.
+    ``engine`` selects the execution engine recorded in
+    ``ExperimentConfig.engine`` (``"sync"`` round barriers, ``"event"``
+    the discrete-event timeline — see :mod:`repro.sim.events`).
     """
     if name not in PRESETS:
         raise KeyError(f"unknown preset {name!r}; available: {available_presets()}")
@@ -209,5 +213,6 @@ def instantiate_preset(
         seed=seed,
         dtype=dtype,
         local_steps=local_steps,
+        engine=engine,
     )
     return partitions, validation, model_factory, config

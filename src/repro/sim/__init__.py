@@ -33,6 +33,15 @@ from repro.sim.timing import (
     ConstantCompute,
     HeterogeneousCompute,
 )
+from repro.sim.events import (
+    EventEngine,
+    EventQueue,
+    EventResult,
+    EventTrace,
+    TimedRecord,
+    run_event_experiment,
+    run_sync_timeline,
+)
 
 __all__ = [
     "TrainingWorker",
@@ -58,4 +67,11 @@ __all__ = [
     "ComputeModel",
     "ConstantCompute",
     "HeterogeneousCompute",
+    "EventEngine",
+    "EventQueue",
+    "EventResult",
+    "EventTrace",
+    "TimedRecord",
+    "run_event_experiment",
+    "run_sync_timeline",
 ]

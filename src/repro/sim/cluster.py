@@ -60,10 +60,32 @@ class ClusterTrainer:
         workers: Sequence[TrainingWorker],
         arena: ParameterArena,
         net,
+        sampler: str = "per-worker",
+        sampler_seed: int = 0,
     ) -> None:
+        if sampler not in ("per-worker", "vectorized"):
+            raise ValueError(f"unknown sampler {sampler!r}")
         self.workers: List[TrainingWorker] = list(workers)
         self.arena = arena
         self.net = net
+        #: ``"per-worker"`` (default) replays each worker's own loader
+        #: RNG — stream-identical to the per-worker loop, the batched
+        #: engine's equivalence guarantee.  ``"vectorized"`` draws ALL
+        #: workers' batch indices from one dedicated generator in a
+        #: single call — **stream-breaking by design** (sampling with
+        #: replacement, different trajectories than the loop) to remove
+        #: the per-worker ``Generator.choice`` floor that dominates the
+        #: batched step at n >= 1024.
+        self.sampler = sampler
+        self._sampler_rng = (
+            np.random.default_rng(sampler_seed)
+            if sampler == "vectorized"
+            else None
+        )
+        self._shard_lengths = np.array(
+            [len(worker.loader.dataset) for worker in workers], dtype=np.float64
+        )
+        self._batch_size = workers[0].loader.batch_size
         self.loss_fn = BatchedCrossEntropyLoss()
         optimizer = self.workers[0].optimizer
         self.momentum = optimizer.momentum
@@ -108,9 +130,15 @@ class ClusterTrainer:
         cls,
         workers: Sequence[TrainingWorker],
         arena: Optional[ParameterArena] = None,
+        sampler: str = "per-worker",
+        sampler_seed: int = 0,
     ) -> Optional["ClusterTrainer"]:
         """A trainer for ``workers``, or ``None`` when the batched path
-        cannot reproduce the per-worker loop exactly."""
+        cannot reproduce the per-worker loop exactly.
+
+        ``sampler="vectorized"`` opts into the one-generator cluster
+        sampler (stream-breaking, see :class:`ClusterTrainer`); all
+        other build requirements are unchanged."""
         workers = list(workers)
         if not workers:
             return None
@@ -166,7 +194,7 @@ class ClusterTrainer:
         net = build_batched_model(arena)
         if net is None:
             return None
-        return cls(workers, arena, net)
+        return cls(workers, arena, net, sampler=sampler, sampler_seed=sampler_seed)
 
     # ------------------------------------------------------------------
     # batched local computation
@@ -211,6 +239,24 @@ class ClusterTrainer:
             )
         features = self._feature_buf[:count]
         labels = self._label_buf[:count]
+        if self._sampler_rng is not None:
+            # Vectorized sampler: one generator, one draw for the whole
+            # cluster — (count, B) uniform variates scaled by each
+            # worker's shard length (sampling WITH replacement;
+            # stream-breaking by design, see the class docstring).
+            draws = self._sampler_rng.random((count, self._batch_size))
+            lengths = self._shard_lengths[np.asarray(rank_list)]
+            batch_indices = (draws * lengths[:, None]).astype(np.intp)
+            samplers = self._samplers
+            for position, rank in enumerate(rank_list):
+                _, shard_features, shard_labels, _, _ = samplers[rank]
+                shard_features.take(
+                    batch_indices[position], axis=0, out=features[position]
+                )
+                shard_labels.take(
+                    batch_indices[position], axis=0, out=labels[position]
+                )
+            return features, labels
         samplers = self._samplers
         for position, rank in enumerate(rank_list):
             choice, shard_features, shard_labels, length, batch = samplers[rank]

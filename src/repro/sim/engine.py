@@ -64,6 +64,14 @@ class ExperimentConfig:
     #: defaults.  At the default of 1 constructed algorithms keep their
     #: own values (e.g. FedAvg's McMahan-style E=5).
     local_steps: int = 1
+    #: Execution engine: ``"sync"`` (default — round-synchronous
+    #: :func:`run_experiment`, bit-identical to the historical
+    #: trajectories) or ``"event"`` (the discrete-event engine of
+    #: :mod:`repro.sim.events`: simulated wall-clock, asynchronous
+    #: variants, contention).  The field is advisory — dispatchers
+    #: (cli, presets) read it; :func:`run_experiment` itself *is* the
+    #: sync engine.
+    engine: str = "sync"
 
     def __post_init__(self) -> None:
         if self.rounds <= 0:
@@ -79,6 +87,10 @@ class ExperimentConfig:
         if self.lr_milestones is not None:
             self.lr_milestones = sorted(int(m) for m in self.lr_milestones)
         self.dtype = resolve_dtype(self.dtype).name
+        if self.engine not in ("sync", "event"):
+            raise ValueError(
+                f"engine must be 'sync' or 'event', got {self.engine!r}"
+            )
 
 
 @dataclass

@@ -1,0 +1,541 @@
+"""Discrete-event execution engine: a simulated wall clock for training.
+
+The synchronous engine (:mod:`repro.sim.engine`) models time as a
+barrier: per round, compute time is the slowest participant and
+communication time the slowest concurrent transfer.  That cannot express
+the regimes the paper's Fig. 6 motivates — stragglers overlapping
+compute with communication, asynchronous gossip, staleness.  This module
+provides the missing execution layer:
+
+* :class:`EventQueue` — a deterministic min-heap of timed events (ties
+  pop in push order), so a run's event order — and therefore every RNG
+  draw made inside handlers — is a pure function of config + seed;
+* :class:`EventEngine` — per-worker clocks, per-endpoint link clocks
+  (contention, on by default), and a :class:`EventTrace` of
+  compute/communication intervals, unifying the
+  :class:`~repro.sim.timing.ComputeModel`, the bandwidth matrix, churn
+  (:mod:`repro.sim.dynamics`) and loss models
+  (:mod:`repro.network.faults`) into one simulated-wall-clock timeline;
+* :func:`run_event_experiment` — run an asynchronous algorithm variant
+  (:mod:`repro.algorithms.asynchronous`) for a simulated time budget,
+  sampling loss/accuracy/consensus distance at simulated-time
+  checkpoints;
+* :func:`run_sync_timeline` — replay any round-synchronous algorithm on
+  the event timeline.  With constant compute, no churn and no contention
+  this reproduces the synchronous ``CommunicationTimer``/``ComputeModel``
+  totals to float tolerance — the event engine's correctness oracle
+  (``tests/test_events.py``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+from repro.network.metrics import MB, CommunicationTimer, TrafficMeter
+from repro.network.transport import SimulatedNetwork
+from repro.sim.engine import ExperimentConfig, evaluate_consensus, make_workers
+from repro.sim.timing import ComputeModel, ConstantCompute
+from repro.utils.dtypes import resolve_dtype
+from repro.utils.rng import as_generator
+
+
+class EventQueue:
+    """Deterministic priority queue of ``(time, action)`` events.
+
+    Events at equal times pop in push order (a monotone sequence number
+    breaks ties), so processing order never depends on heap internals —
+    the determinism guarantee every async variant's seed-reproducibility
+    rests on.
+    """
+
+    __slots__ = ("_heap", "_count")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Callable]] = []
+        self._count = 0
+
+    def push(self, time: float, action: Callable) -> None:
+        time = float(time)
+        if not np.isfinite(time) or time < 0.0:
+            raise ValueError(f"event time must be finite and >= 0, got {time}")
+        heapq.heappush(self._heap, (time, self._count, action))
+        self._count += 1
+
+    def pop(self) -> Tuple[float, Callable]:
+        time, _, action = heapq.heappop(self._heap)
+        return time, action
+
+    def peek_time(self) -> Optional[float]:
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+@dataclass
+class TraceInterval:
+    """One busy interval of one worker on the simulated clock."""
+
+    worker: int
+    kind: str  # "compute" | "comm"
+    start: float
+    end: float
+
+
+class EventTrace:
+    """Per-worker compute/communication intervals of one run.
+
+    Feeds the timeline reports in :mod:`repro.analysis.timeline`
+    (compute / communication / idle breakdown per worker).  Communication
+    may overlap computation (AD-PSGD's point), so idle time is derived as
+    ``max(horizon - compute - comm, 0)`` rather than interval arithmetic.
+    """
+
+    def __init__(self, num_workers: int) -> None:
+        self.num_workers = num_workers
+        self.intervals: List[TraceInterval] = []
+
+    def add(self, worker: int, kind: str, start: float, end: float) -> None:
+        if end < start:
+            raise ValueError(f"interval ends before it starts: {start} > {end}")
+        if end > start:  # zero-length intervals carry no information
+            self.intervals.append(TraceInterval(worker, kind, start, end))
+
+    def busy_seconds(
+        self, kind: str, horizon: Optional[float] = None
+    ) -> np.ndarray:
+        """Total seconds per worker spent in intervals of ``kind``.
+
+        ``horizon`` clips intervals that were scheduled past the end of
+        the run (a worker mid-compute when the clock ran out)."""
+        totals = np.zeros(self.num_workers, dtype=np.float64)
+        for interval in self.intervals:
+            if interval.kind == kind and 0 <= interval.worker < self.num_workers:
+                end = interval.end if horizon is None else min(interval.end, horizon)
+                if end > interval.start:
+                    totals[interval.worker] += end - interval.start
+        return totals
+
+
+@dataclass
+class TimedRecord:
+    """One simulated-time checkpoint along an event-engine run.
+
+    ``comm_time_s`` / ``compute_time_s`` are cumulative barrier times and
+    only populated by the synchronous replay (:func:`run_sync_timeline`);
+    asynchronous runs have no barrier, so their time axis is ``time_s``
+    itself and those fields stay zero.
+    """
+
+    time_s: float
+    train_loss: float
+    val_loss: float
+    val_accuracy: float
+    consensus_distance: float
+    worker_traffic_mb: float
+    server_traffic_mb: float
+    events_processed: int
+    local_steps: int
+    mean_staleness: float = 0.0
+    comm_time_s: float = 0.0
+    compute_time_s: float = 0.0
+
+
+@dataclass
+class EventResult:
+    """Full simulated-time trajectory of one event-engine run."""
+
+    algorithm: str
+    history: List[TimedRecord] = field(default_factory=list)
+    trace: Optional[EventTrace] = None
+    horizon: float = 0.0
+    total_local_steps: int = 0
+    events_processed: int = 0
+    staleness: List[int] = field(default_factory=list)
+    #: Per-round (compute, comm) barrier times — populated by the
+    #: synchronous replay only; the oracle tests compare these against
+    #: the synchronous engine's per-round numbers.
+    round_compute_seconds: List[float] = field(default_factory=list)
+    round_comm_seconds: List[float] = field(default_factory=list)
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.history[-1].val_accuracy if self.history else float("nan")
+
+    @property
+    def best_accuracy(self) -> float:
+        if not self.history:
+            return float("nan")
+        return max(record.val_accuracy for record in self.history)
+
+    def time_to_accuracy(self, target_accuracy: float) -> Optional[float]:
+        """First checkpoint time at which validation accuracy reached
+        ``target_accuracy`` (None if never) — the Fig. 6 / Table IV query
+        on the simulated-time axis."""
+        for record in self.history:
+            if record.val_accuracy >= target_accuracy:
+                return record.time_s
+        return None
+
+
+class EventEngine:
+    """Deterministic discrete-event executor over one simulated network.
+
+    Holds the queue, the wall clock, per-worker clocks, per-endpoint link
+    clocks (for contention, on by default here — the synchronous timer
+    keeps it off by default) and the shared scenario models: compute
+    times, churn and exchange loss.  Asynchronous algorithms
+    (:mod:`repro.algorithms.asynchronous`) bind to the engine and drive
+    it through :meth:`schedule` / :meth:`start_transfer`.
+    """
+
+    #: Safety valve: an algorithm whose events never advance time (no
+    #: compute model and no bandwidth) would otherwise spin forever
+    #: inside one simulated instant.
+    MAX_EVENTS = 2_000_000
+
+    def __init__(
+        self,
+        network: SimulatedNetwork,
+        compute_model: Optional[ComputeModel] = None,
+        churn=None,
+        loss_model=None,
+        contention: bool = True,
+    ) -> None:
+        self.network = network
+        self.num_workers = network.num_workers
+        self.compute_model = compute_model
+        self.churn = churn
+        self.loss_model = loss_model
+        self.contention = bool(contention)
+        self.queue = EventQueue()
+        self.now = 0.0
+        #: Time each worker becomes free (informational; the handlers
+        #: keep the authoritative per-worker state machines).
+        self.worker_free = np.zeros(self.num_workers, dtype=np.float64)
+        self._link_free: Dict[Tuple, float] = {}
+        self.trace = EventTrace(self.num_workers)
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    # time helpers
+    # ------------------------------------------------------------------
+    def compute_seconds(self, cycle_index: int, rank: int, steps: int = 1) -> float:
+        """Seconds worker ``rank`` needs for ``steps`` local steps of its
+        ``cycle_index``-th cycle (0 without a compute model)."""
+        if self.compute_model is None:
+            return 0.0
+        return float(self.compute_model.step_time(cycle_index, rank, steps))
+
+    def transfer_seconds(self, sender: int, receiver: int, num_bytes: int) -> float:
+        """Unloaded duration of one directed transfer (0 when the link is
+        not time-modelled)."""
+        if num_bytes == 0:
+            return 0.0
+        link = self.network.link_bandwidth(sender, receiver)
+        if link is None:
+            return 0.0
+        if link <= 0:
+            raise ValueError(f"bandwidth must be positive, got {link}")
+        return (num_bytes / MB) / link
+
+    def schedule(self, time: float, action: Callable) -> None:
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule into the past ({time} < now={self.now})"
+            )
+        self.queue.push(time, action)
+
+    def start_transfer(
+        self,
+        start: float,
+        sender: int,
+        receiver: int,
+        num_bytes: int,
+        index: int = 0,
+    ) -> Tuple[float, float]:
+        """Account one directed transfer; returns its ``(begin, end)``.
+
+        Under contention the transfer waits for the sender's transmit end
+        and the receiver's receive end to free up (links are full
+        duplex), then occupies both for its duration.  Bytes are metered
+        either way (``index`` is the meter's round slot — async callers
+        pass their exchange counter).
+        """
+        duration = self.transfer_seconds(sender, receiver, num_bytes)
+        endpoints = SimulatedNetwork.link_endpoints(sender, receiver)
+        if self.contention:
+            begin, end = CommunicationTimer.reserve_endpoints(
+                start, duration, endpoints, self._link_free
+            )
+        else:
+            begin, end = start, start + duration
+        self.network.meter.record(index, sender, receiver, num_bytes)
+        for node in (sender, receiver):
+            if node != TrafficMeter.SERVER:
+                self.trace.add(node, "comm", begin, end)
+        return begin, end
+
+    # ------------------------------------------------------------------
+    # the event loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        algorithm,
+        validation: Dataset,
+        duration: float,
+        checkpoint_every: float,
+        record_initial: bool = True,
+    ) -> EventResult:
+        """Drive ``algorithm`` (an async variant already ``setup()``)
+        until the simulated clock reaches ``duration``, snapshotting
+        metrics every ``checkpoint_every`` simulated seconds."""
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        if checkpoint_every <= 0:
+            raise ValueError(
+                f"checkpoint_every must be positive, got {checkpoint_every}"
+            )
+        algorithm.bind(self)
+        result = EventResult(
+            algorithm=algorithm.name, trace=self.trace, horizon=float(duration)
+        )
+
+        def snapshot(at: float) -> None:
+            val_loss, val_accuracy = evaluate_consensus(algorithm, validation)
+            staleness = getattr(algorithm, "staleness_log", [])
+            result.history.append(
+                TimedRecord(
+                    time_s=at,
+                    train_loss=algorithm.mean_train_loss,
+                    val_loss=val_loss,
+                    val_accuracy=val_accuracy,
+                    consensus_distance=algorithm.consensus_distance(),
+                    worker_traffic_mb=self.network.meter.mean_worker_traffic_mb(),
+                    server_traffic_mb=self.network.server_traffic_mb(),
+                    events_processed=self.events_processed,
+                    local_steps=algorithm.total_local_steps,
+                    mean_staleness=(
+                        float(np.mean(staleness)) if staleness else 0.0
+                    ),
+                )
+            )
+
+        algorithm.start()
+        if record_initial:
+            snapshot(0.0)
+        # Checkpoint times are k * checkpoint_every (multiplication, not
+        # accumulation) so the final checkpoint lands exactly on a round
+        # multiple of the interval instead of drifting past it.
+        checkpoint_index = 1
+        next_checkpoint = checkpoint_every
+        while self.queue:
+            time = self.queue.peek_time()
+            if time > duration:
+                break
+            # Snapshots happen between events: state at a checkpoint is
+            # the state after every event strictly before it.
+            while next_checkpoint <= time:
+                snapshot(next_checkpoint)
+                checkpoint_index += 1
+                next_checkpoint = checkpoint_index * checkpoint_every
+            time, action = self.queue.pop()
+            self.now = time
+            self.events_processed += 1
+            if self.events_processed > self.MAX_EVENTS:
+                raise RuntimeError(
+                    "event budget exhausted — the schedule is not advancing "
+                    "simulated time (no compute model and no bandwidth?)"
+                )
+            action(time)
+        self.now = float(duration)
+        while next_checkpoint <= duration:
+            snapshot(next_checkpoint)
+            checkpoint_index += 1
+            next_checkpoint = checkpoint_index * checkpoint_every
+        if not result.history or result.history[-1].time_s < duration:
+            snapshot(float(duration))
+        result.staleness = list(getattr(algorithm, "staleness_log", []))
+        result.total_local_steps = algorithm.total_local_steps
+        result.events_processed = self.events_processed
+        return result
+
+
+# ----------------------------------------------------------------------
+# harness entry points
+# ----------------------------------------------------------------------
+def run_event_experiment(
+    algorithm,
+    partitions: Sequence[Dataset],
+    validation: Dataset,
+    model_factory: Callable,
+    config: ExperimentConfig,
+    network: Optional[SimulatedNetwork] = None,
+    compute_model: Optional[ComputeModel] = None,
+    churn=None,
+    loss_model=None,
+    duration: float = 30.0,
+    checkpoint_every: Optional[float] = None,
+    contention: bool = True,
+) -> EventResult:
+    """Run an asynchronous algorithm variant on the event engine.
+
+    The mirror of :func:`repro.sim.run_experiment` for the event-driven
+    engine: builds workers (arena-backed, batched kernels and all), binds
+    the algorithm, and runs for ``duration`` simulated seconds with
+    checkpoints every ``checkpoint_every`` (default: 10 per run).
+    Without a ``compute_model`` a :class:`ConstantCompute` of 0.1 s/step
+    is assumed — an event simulation needs *some* notion of compute time
+    for its clock to advance.
+    """
+    if network is None:
+        network = SimulatedNetwork(num_workers=len(partitions))
+    validation = validation.astype(resolve_dtype(config.dtype))
+    if config.local_steps > 1 and hasattr(algorithm, "local_steps"):
+        algorithm.local_steps = config.local_steps
+    if compute_model is None:
+        compute_model = ConstantCompute(0.1)
+    workers = make_workers(model_factory, partitions, config)
+    algorithm.setup(workers, network, rng=as_generator(config.seed))
+    engine = EventEngine(
+        network,
+        compute_model=compute_model,
+        churn=churn,
+        loss_model=loss_model,
+        contention=contention,
+    )
+    if checkpoint_every is None:
+        checkpoint_every = duration / 10.0
+    return engine.run(algorithm, validation, duration, checkpoint_every)
+
+
+def run_sync_timeline(
+    algorithm,
+    partitions: Sequence[Dataset],
+    validation: Dataset,
+    model_factory: Callable,
+    config: ExperimentConfig,
+    network: Optional[SimulatedNetwork] = None,
+    compute_model: Optional[ComputeModel] = None,
+    contention: bool = False,
+) -> EventResult:
+    """Replay a round-synchronous algorithm on the event timeline.
+
+    The algorithm's numerics are untouched (``run_round`` executes
+    exactly as under :func:`repro.sim.run_experiment`); the engine then
+    lays the round out on the simulated clock: one compute interval per
+    participant, then the round's recorded transfers, then the barrier.
+    With no contention the barrier reproduces the synchronous
+    ``CommunicationTimer``/``ComputeModel`` totals to float tolerance —
+    the degenerate-case oracle.  With ``contention=True`` transfers that
+    share link ends serialize, which is the event engine's default
+    behaviour and *not* expressible by the synchronous timer's
+    max-of-transfers.
+
+    Only single-phase rounds are replayed (all seven paper algorithms);
+    an algorithm closing multiple timer phases per round would replay
+    its last phase only.
+    """
+    if network is None:
+        network = SimulatedNetwork(num_workers=len(partitions))
+    validation = validation.astype(resolve_dtype(config.dtype))
+    if config.local_steps > 1 and hasattr(algorithm, "local_steps"):
+        algorithm.local_steps = config.local_steps
+    workers = make_workers(model_factory, partitions, config)
+    algorithm.setup(workers, network, rng=as_generator(config.seed))
+    engine = EventEngine(
+        network, compute_model=compute_model, contention=contention
+    )
+    trace = engine.trace
+    result = EventResult(algorithm=algorithm.name, trace=trace)
+
+    comm_total = 0.0
+    compute_total = 0.0
+    steps_total = 0
+    running_loss = float("nan")
+
+    def snapshot(round_index: int) -> None:
+        val_loss, val_accuracy = evaluate_consensus(algorithm, validation)
+        result.history.append(
+            TimedRecord(
+                time_s=engine.now,
+                train_loss=running_loss,
+                val_loss=val_loss,
+                val_accuracy=val_accuracy,
+                consensus_distance=algorithm.consensus_distance(),
+                worker_traffic_mb=network.meter.mean_worker_traffic_mb(),
+                server_traffic_mb=network.server_traffic_mb(),
+                events_processed=round_index + 1,
+                local_steps=steps_total,
+                comm_time_s=comm_total,
+                compute_time_s=compute_total,
+            )
+        )
+
+    milestones = set(config.lr_milestones or [])
+    for round_index in range(config.rounds):
+        if round_index in milestones:
+            for worker in workers:
+                worker.optimizer.lr *= config.lr_gamma
+        running_loss = algorithm.run_round(round_index)
+
+        # Compute phase: every participant runs its local steps starting
+        # at the last barrier; the phase ends when the straggler does.
+        participants = getattr(algorithm, "last_participants", None)
+        if participants is None:
+            participants = range(engine.num_workers)
+        participants = list(participants)
+        steps = getattr(algorithm, "local_steps", 1)
+        start = engine.now
+        compute_end = start
+        for rank in participants:
+            dt = engine.compute_seconds(round_index, rank, steps)
+            trace.add(rank, "compute", start, start + dt)
+            compute_end = max(compute_end, start + dt)
+        steps_total += steps * len(participants)
+
+        # Communication phase: replay the round's recorded transfers.
+        # All start at the compute barrier; under contention, shared
+        # link ends serialize through the engine's link clocks (same
+        # greedy reservation the timer and start_transfer use).
+        barrier = compute_end
+        for duration, endpoints in network.timer.last_round_transfers:
+            if contention:
+                begin, end = CommunicationTimer.reserve_endpoints(
+                    compute_end, duration, endpoints, engine._link_free
+                )
+            else:
+                begin, end = compute_end, compute_end + duration
+            if endpoints:
+                for kind, node in endpoints:
+                    if node != TrafficMeter.SERVER:
+                        trace.add(node, "comm", begin, end)
+            else:
+                # Aggregate/collective transfers (PSGD's ring all-reduce,
+                # the sparse allgather, the non-contended server batch)
+                # declare no link ends but involve every participant —
+                # attribute the interval to all of them so the timeline
+                # breakdown does not book collective time as idle.
+                for node in participants:
+                    trace.add(node, "comm", begin, end)
+            barrier = max(barrier, end)
+
+        result.round_compute_seconds.append(compute_end - start)
+        result.round_comm_seconds.append(barrier - compute_end)
+        compute_total += compute_end - start
+        comm_total += barrier - compute_end
+        engine.now = barrier
+
+        is_last = round_index == config.rounds - 1
+        if (round_index + 1) % config.eval_every == 0 or is_last:
+            snapshot(round_index)
+    result.horizon = engine.now
+    return result

@@ -1,0 +1,568 @@
+"""Tests for the discrete-event engine, async variants and contention.
+
+The load-bearing suite of the event subsystem:
+
+* the deterministic event queue;
+* opt-in link contention in ``CommunicationTimer``/``SimulatedNetwork``
+  (off = bit-identical to the historical max-of-transfers model);
+* the degenerate-case oracle — with constant compute, no churn and no
+  contention the synchronous replay (:func:`run_sync_timeline`)
+  reproduces the synchronous engine's per-round communication/compute
+  times to float tolerance for SAPS, D-PSGD and FedAvg;
+* seed-determinism and convergence of the async variants.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    AsyncDPSGD,
+    AsyncFedAvg,
+    AsyncGossip,
+    DPSGD,
+    FedAvg,
+    SAPSPSGD,
+)
+from repro.analysis import (
+    mean_utilization,
+    render_time_to_accuracy,
+    render_worker_timeline,
+    time_to_accuracy_table,
+    worker_timeline,
+)
+from repro.data import make_blobs, partition_iid
+from repro.network import SimulatedNetwork, random_uniform_bandwidth
+from repro.network.faults import PacketLossModel
+from repro.network.metrics import MB, CommunicationTimer
+from repro.nn import MLP
+from repro.sim import (
+    AvailabilitySchedule,
+    ConstantCompute,
+    EventEngine,
+    EventQueue,
+    ExperimentConfig,
+    HeterogeneousCompute,
+    run_event_experiment,
+    run_experiment,
+    run_sync_timeline,
+)
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        for time in (3.0, 1.0, 2.0):
+            queue.push(time, time)
+        assert [queue.pop()[0] for _ in range(3)] == [1.0, 2.0, 3.0]
+
+    def test_ties_pop_in_push_order(self):
+        queue = EventQueue()
+        for tag in ("a", "b", "c"):
+            queue.push(1.0, tag)
+        assert [queue.pop()[1] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue and len(queue) == 0
+        queue.push(0.0, None)
+        assert queue and len(queue) == 1
+        assert queue.peek_time() == 0.0
+
+    def test_rejects_bad_times(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.push(-1.0, None)
+        with pytest.raises(ValueError):
+            queue.push(float("nan"), None)
+
+
+class TestContention:
+    def test_off_is_max_of_transfers(self):
+        timer = CommunicationTimer()
+        timer.add_transfer(2 * MB, 1.0, endpoints=(("tx", 0), ("rx", 1)))
+        timer.add_transfer(3 * MB, 1.0, endpoints=(("tx", 0), ("rx", 2)))
+        assert timer.finish_round() == pytest.approx(3.0)
+
+    def test_on_serializes_shared_endpoint(self):
+        timer = CommunicationTimer(contention=True)
+        # Two uploads out of worker 0's transmit end: they serialize.
+        timer.add_transfer(2 * MB, 1.0, endpoints=(("tx", 0), ("rx", 1)))
+        timer.add_transfer(3 * MB, 1.0, endpoints=(("tx", 0), ("rx", 2)))
+        assert timer.finish_round() == pytest.approx(5.0)
+
+    def test_on_disjoint_endpoints_still_parallel(self):
+        timer = CommunicationTimer(contention=True)
+        timer.add_transfer(2 * MB, 1.0, endpoints=(("tx", 0), ("rx", 1)))
+        timer.add_transfer(3 * MB, 1.0, endpoints=(("tx", 2), ("rx", 3)))
+        assert timer.finish_round() == pytest.approx(3.0)
+
+    def test_contention_is_in_order_greedy_schedule(self):
+        """The timer, the engine and the sync replay share one
+        contention algorithm: greedy in-order link reservation.  Here
+        transfer 2 waits for tx-A (until t=3) and transfer 3 then waits
+        for rx-C (until t=5), ending at t=9 — not the per-endpoint-sum
+        lower bound of 6."""
+        timer = CommunicationTimer(contention=True)
+        timer.add_transfer(3 * MB, 1.0, endpoints=(("tx", "A"), ("rx", "B")))
+        timer.add_transfer(2 * MB, 1.0, endpoints=(("tx", "A"), ("rx", "C")))
+        timer.add_transfer(4 * MB, 1.0, endpoints=(("tx", "B"), ("rx", "C")))
+        assert timer.finish_round() == pytest.approx(9.0)
+
+    def test_undeclared_endpoints_never_contend(self):
+        timer = CommunicationTimer(contention=True)
+        timer.add_transfer(2 * MB, 1.0)
+        timer.add_transfer(3 * MB, 1.0)
+        assert timer.finish_round() == pytest.approx(3.0)
+
+    def test_last_round_transfers_recorded(self):
+        timer = CommunicationTimer()
+        timer.add_transfer(2 * MB, 1.0, endpoints=(("tx", 0), ("rx", 1)))
+        timer.finish_round()
+        assert len(timer.last_round_transfers) == 1
+        duration, endpoints = timer.last_round_transfers[0]
+        assert duration == pytest.approx(2.0)
+        assert endpoints == (("tx", 0), ("rx", 1))
+
+    def test_network_contention_flag(self):
+        assert not SimulatedNetwork(4).contention
+        assert SimulatedNetwork(4, contention=True).contention
+
+    def test_fedavg_contention_halves_aggregate_total(self):
+        """FedAvg's serialized-server model under contention: downloads
+        serialize on the server's transmit end and uploads on its
+        receive end, but the two directions overlap (full duplex) — so
+        the dense-upload round takes exactly half the historical single
+        aggregated transfer, which serialized both directions."""
+        full = make_blobs(num_samples=120, num_classes=3, num_features=6, rng=5)
+        train, validation = full.split(fraction=0.8, rng=5)
+        partitions = partition_iid(train, 4, rng=5)
+        factory = lambda: MLP(6, [8], 3, rng=5)
+        config = ExperimentConfig(rounds=4, eval_every=4, lr=0.2, seed=5)
+        bandwidth = random_uniform_bandwidth(4, rng=5)
+        times = {}
+        for contention in (False, True):
+            network = SimulatedNetwork(
+                4, bandwidth=bandwidth,
+                server_bandwidth=float(bandwidth.max()),
+                contention=contention,
+            )
+            run_experiment(
+                FedAvg(participation=0.5, local_steps=1),
+                partitions, validation, factory, config, network,
+            )
+            times[contention] = network.total_time_seconds()
+        assert times[True] == pytest.approx(0.5 * times[False])
+
+    def test_engine_transfer_serializes_on_shared_link_end(self):
+        bandwidth = np.full((3, 3), 1.0) - np.eye(3)
+        network = SimulatedNetwork(3, bandwidth=bandwidth)
+        engine = EventEngine(network, contention=True)
+        begin_1, end_1 = engine.start_transfer(0.0, 0, 1, int(2 * MB))
+        begin_2, end_2 = engine.start_transfer(0.0, 0, 2, int(2 * MB))
+        assert (begin_1, end_1) == (0.0, pytest.approx(2.0))
+        # Same transmit end: the second upload waits for the first.
+        assert begin_2 == pytest.approx(2.0)
+        assert end_2 == pytest.approx(4.0)
+        # Opposite direction is a different link end: full duplex.
+        begin_3, _ = engine.start_transfer(0.0, 1, 0, int(2 * MB))
+        assert begin_3 == 0.0
+
+    def test_engine_no_contention_is_parallel(self):
+        bandwidth = np.full((3, 3), 1.0) - np.eye(3)
+        network = SimulatedNetwork(3, bandwidth=bandwidth)
+        engine = EventEngine(network, contention=False)
+        _, end_1 = engine.start_transfer(0.0, 0, 1, int(2 * MB))
+        begin_2, _ = engine.start_transfer(0.0, 0, 2, int(2 * MB))
+        assert end_1 == pytest.approx(2.0)
+        assert begin_2 == 0.0
+
+
+@pytest.fixture
+def workload():
+    full = make_blobs(num_samples=260, num_classes=3, num_features=6, rng=11)
+    train, validation = full.split(fraction=0.8, rng=11)
+    partitions = partition_iid(train, 6, rng=11)
+    return partitions, validation, lambda: MLP(6, [8], 3, rng=11)
+
+
+class TestSyncEquivalenceOracle:
+    """The degenerate case: constant compute, no churn, no contention —
+    the event replay must match the synchronous engine."""
+
+    ALGORITHMS = {
+        "saps": lambda: SAPSPSGD(compression_ratio=5.0, base_seed=11),
+        "d-psgd": lambda: DPSGD(),
+        "fedavg": lambda: FedAvg(participation=0.5, local_steps=2),
+    }
+
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_times_match_sync_engine(self, workload, name):
+        partitions, validation, factory = workload
+        config = ExperimentConfig(rounds=8, eval_every=4, lr=0.2, seed=11)
+        bandwidth = random_uniform_bandwidth(6, rng=11)
+        compute = ConstantCompute(0.05)
+
+        def network():
+            return SimulatedNetwork(
+                6, bandwidth=bandwidth,
+                server_bandwidth=float(bandwidth.max()),
+            )
+
+        sync_net = network()
+        sync = run_experiment(
+            self.ALGORITHMS[name](), partitions, validation, factory,
+            config, sync_net, compute_model=compute,
+        )
+        replay_net = network()
+        replay = run_sync_timeline(
+            self.ALGORITHMS[name](), partitions, validation, factory,
+            config, replay_net, compute_model=compute,
+        )
+        # Per-round communication times sum to the synchronous total.
+        assert sum(replay.round_comm_seconds) == pytest.approx(
+            sync_net.total_time_seconds()
+        )
+        np.testing.assert_allclose(
+            replay.round_comm_seconds, replay_net.timer.round_seconds
+        )
+        # Per-round compute is the straggler barrier of the sync model.
+        assert sum(replay.round_compute_seconds) == pytest.approx(
+            sync.history[-1].compute_time_s
+        )
+        # Eval points line up in time and in metrics (identical numerics).
+        assert len(replay.history) == len(sync.history) - 1  # no initial
+        for timed, record in zip(replay.history, sync.history[1:]):
+            assert timed.comm_time_s == pytest.approx(record.comm_time_s)
+            assert timed.compute_time_s == pytest.approx(record.compute_time_s)
+            assert timed.time_s == pytest.approx(record.total_time_s)
+            assert timed.val_accuracy == record.val_accuracy
+            assert timed.consensus_distance == pytest.approx(
+                record.consensus_distance
+            )
+
+    def test_collective_comm_attributed_to_participants(self, workload):
+        """PSGD's all-reduce declares no link ends; its time must land
+        in every participant's comm column, not in idle."""
+        from repro.algorithms import PSGD
+
+        partitions, validation, factory = workload
+        config = ExperimentConfig(rounds=4, eval_every=4, lr=0.2, seed=11)
+        replay = run_sync_timeline(
+            PSGD(), partitions, validation, factory, config,
+            SimulatedNetwork(6, bandwidth=random_uniform_bandwidth(6, rng=11)),
+            compute_model=ConstantCompute(0.05),
+        )
+        comm = replay.trace.busy_seconds("comm")
+        assert (comm > 0).all()
+        assert sum(replay.round_comm_seconds) > 0
+
+    def test_replay_records_cumulative_local_steps(self, workload):
+        partitions, validation, factory = workload
+        config = ExperimentConfig(rounds=8, eval_every=4, lr=0.2, seed=11)
+        replay = run_sync_timeline(
+            SAPSPSGD(compression_ratio=5.0, base_seed=11),
+            partitions, validation, factory, config, SimulatedNetwork(6),
+        )
+        # 6 workers x 1 local step x 4 / 8 rounds at the two eval points.
+        assert [r.local_steps for r in replay.history] == [24, 48]
+
+    def test_replay_contention_matches_timer_contention(self, workload):
+        """One contention algorithm everywhere: a contended network's
+        timer totals equal the contended replay's comm totals."""
+        partitions, validation, factory = workload
+        config = ExperimentConfig(rounds=6, eval_every=3, lr=0.2, seed=11)
+        bandwidth = random_uniform_bandwidth(6, rng=11)
+        contended_net = SimulatedNetwork(6, bandwidth=bandwidth, contention=True)
+        run_experiment(
+            DPSGD(), partitions, validation, factory, config, contended_net,
+        )
+        replay_net = SimulatedNetwork(6, bandwidth=bandwidth)
+        replay = run_sync_timeline(
+            DPSGD(), partitions, validation, factory, config, replay_net,
+            contention=True,
+        )
+        assert sum(replay.round_comm_seconds) == pytest.approx(
+            contended_net.total_time_seconds()
+        )
+
+    def test_heterogeneous_compute_also_matches(self, workload):
+        partitions, validation, factory = workload
+        config = ExperimentConfig(rounds=6, eval_every=3, lr=0.2, seed=11)
+        compute = HeterogeneousCompute(6, spread=8.0, jitter=0.0, rng=11)
+        sync = run_experiment(
+            SAPSPSGD(compression_ratio=5.0), partitions, validation,
+            factory, config, SimulatedNetwork(6), compute_model=compute,
+        )
+        replay = run_sync_timeline(
+            SAPSPSGD(compression_ratio=5.0), partitions, validation,
+            factory, config, SimulatedNetwork(6), compute_model=compute,
+        )
+        assert sum(replay.round_compute_seconds) == pytest.approx(
+            sync.history[-1].compute_time_s
+        )
+
+
+class TestAsyncGossip:
+    def run(self, workload, duration=3.0, **kwargs):
+        partitions, validation, factory = workload
+        config = ExperimentConfig(rounds=10, eval_every=5, lr=0.2, seed=11)
+        bandwidth = random_uniform_bandwidth(6, rng=11)
+        network = SimulatedNetwork(6, bandwidth=bandwidth)
+        algorithm = AsyncGossip(compression_ratio=5.0, base_seed=11, **kwargs)
+        result = run_event_experiment(
+            algorithm, partitions, validation, factory, config, network,
+            compute_model=ConstantCompute(0.05), duration=duration,
+        )
+        return algorithm, result
+
+    def test_seed_determinism(self, workload):
+        _, first = self.run(workload)
+        _, second = self.run(workload)
+        assert len(first.history) == len(second.history)
+        for a, b in zip(first.history, second.history):
+            assert a.time_s == b.time_s
+            assert a.val_accuracy == b.val_accuracy
+            assert a.consensus_distance == b.consensus_distance
+            assert a.worker_traffic_mb == b.worker_traffic_mb
+            assert a.local_steps == b.local_steps
+        assert first.events_processed == second.events_processed
+        assert len(first.trace.intervals) == len(second.trace.intervals)
+
+    def test_reaches_sync_target_accuracy(self, workload):
+        """Acceptance criterion: the async variant reaches the sync
+        baseline's target accuracy on the quickstart-style workload."""
+        partitions, validation, factory = workload
+        config = ExperimentConfig(rounds=40, eval_every=10, lr=0.2, seed=11)
+        sync = run_experiment(
+            SAPSPSGD(compression_ratio=5.0, base_seed=11),
+            partitions, validation, factory, config, SimulatedNetwork(6),
+        )
+        target = 0.9 * sync.best_accuracy
+        _, result = self.run(workload, duration=4.0)
+        assert result.best_accuracy >= target
+        assert result.time_to_accuracy(target) is not None
+
+    def test_exchanges_meter_traffic(self, workload):
+        algorithm, result = self.run(workload)
+        assert algorithm.exchange_count > 0
+        assert result.history[-1].worker_traffic_mb > 0
+        assert result.total_local_steps > 0
+
+    def test_checkpoint_times_monotone(self, workload):
+        _, result = self.run(workload)
+        times = [record.time_s for record in result.history]
+        assert times == sorted(times)
+        assert times[-1] == pytest.approx(3.0)
+        # No duplicate final checkpoint.
+        assert len(set(times)) == len(times)
+
+    def test_loss_model_drops_exchanges(self, workload):
+        partitions, validation, factory = workload
+        config = ExperimentConfig(rounds=10, eval_every=5, lr=0.2, seed=11)
+        algorithm = AsyncGossip(compression_ratio=5.0, base_seed=11)
+        run_event_experiment(
+            algorithm, partitions, validation, factory, config,
+            SimulatedNetwork(6, bandwidth=random_uniform_bandwidth(6, rng=11)),
+            compute_model=ConstantCompute(0.05),
+            loss_model=PacketLossModel(1.0, num_workers=6, rng=0),
+            duration=1.0,
+        )
+        assert algorithm.dropped_exchanges > 0
+        assert algorithm.dropped_exchanges == algorithm.exchange_count
+
+    def test_churn_suppresses_offline_cycles(self, workload):
+        partitions, validation, factory = workload
+        config = ExperimentConfig(rounds=10, eval_every=5, lr=0.2, seed=11)
+        # Worker 0 offline for its first 50 cycles: it computes far less.
+        churn = AvailabilitySchedule(6, {0: [(0, 50)]})
+        algorithm = AsyncGossip(compression_ratio=5.0, base_seed=11)
+        result = run_event_experiment(
+            algorithm, partitions, validation, factory, config,
+            SimulatedNetwork(6, bandwidth=random_uniform_bandwidth(6, rng=11)),
+            compute_model=ConstantCompute(0.05), churn=churn, duration=2.0,
+        )
+        compute = result.trace.busy_seconds("compute")
+        assert compute[0] < 0.5 * compute[1:].mean()
+
+    def test_random_peer_choice_runs(self, workload):
+        _, result = self.run(workload, peer_choice="random", duration=1.0)
+        assert result.total_local_steps > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AsyncGossip(compression_ratio=0.5)
+        with pytest.raises(ValueError):
+            AsyncGossip(peer_choice="round-robin")
+        with pytest.raises(ValueError):
+            AsyncGossip(local_steps=0)
+
+
+class TestAsyncDPSGD:
+    def run(self, workload, duration=2.0):
+        partitions, validation, factory = workload
+        config = ExperimentConfig(rounds=10, eval_every=5, lr=0.2, seed=11)
+        network = SimulatedNetwork(
+            6, bandwidth=random_uniform_bandwidth(6, rng=11)
+        )
+        algorithm = AsyncDPSGD()
+        result = run_event_experiment(
+            algorithm, partitions, validation, factory, config, network,
+            compute_model=ConstantCompute(0.05), duration=duration,
+        )
+        return algorithm, result
+
+    def test_staleness_tracked(self, workload):
+        _, result = self.run(workload)
+        assert len(result.staleness) > 0
+        assert all(s >= 0 for s in result.staleness)
+        # Gradient applications and staleness samples are 1:1.
+        assert len(result.staleness) == result.total_local_steps
+
+    def test_seed_determinism(self, workload):
+        _, first = self.run(workload)
+        _, second = self.run(workload)
+        assert first.staleness == second.staleness
+        assert [r.val_accuracy for r in first.history] == [
+            r.val_accuracy for r in second.history
+        ]
+
+    def test_learns(self, workload):
+        _, result = self.run(workload, duration=4.0)
+        assert result.final_accuracy > result.history[0].val_accuracy
+        assert result.final_accuracy > 0.8
+
+
+class TestAsyncFedAvg:
+    def run(self, workload, duration=6.0, **kwargs):
+        partitions, validation, factory = workload
+        bandwidth = random_uniform_bandwidth(6, rng=11)
+        config = ExperimentConfig(rounds=10, eval_every=5, lr=0.2, seed=11)
+        network = SimulatedNetwork(
+            6, bandwidth=bandwidth, server_bandwidth=float(bandwidth.max())
+        )
+        algorithm = AsyncFedAvg(**kwargs)
+        result = run_event_experiment(
+            algorithm, partitions, validation, factory, config, network,
+            compute_model=ConstantCompute(0.05), duration=duration,
+        )
+        return algorithm, result
+
+    def test_server_updates_and_staleness(self, workload):
+        algorithm, result = self.run(workload)
+        assert algorithm.server_version > 0
+        assert len(result.staleness) == algorithm.server_version
+        # With 6 workers cycling concurrently, some uploads must be stale.
+        assert max(result.staleness) > 0
+        assert result.history[-1].mean_staleness > 0
+
+    def test_server_traffic_metered(self, workload):
+        _, result = self.run(workload, duration=3.0)
+        assert result.history[-1].server_traffic_mb > 0
+
+    def test_learns(self, workload):
+        _, result = self.run(workload)
+        assert result.final_accuracy > 0.8
+
+    def test_seed_determinism(self, workload):
+        _, first = self.run(workload, duration=3.0)
+        _, second = self.run(workload, duration=3.0)
+        assert first.staleness == second.staleness
+        assert [r.val_accuracy for r in first.history] == [
+            r.val_accuracy for r in second.history
+        ]
+
+    def test_loss_model_drops_uploads(self, workload):
+        partitions, validation, factory = workload
+        bandwidth = random_uniform_bandwidth(6, rng=11)
+        config = ExperimentConfig(rounds=10, eval_every=5, lr=0.2, seed=11)
+        network = SimulatedNetwork(
+            6, bandwidth=bandwidth, server_bandwidth=float(bandwidth.max())
+        )
+        algorithm = AsyncFedAvg()
+        result = run_event_experiment(
+            algorithm, partitions, validation, factory, config, network,
+            compute_model=ConstantCompute(0.05),
+            loss_model=PacketLossModel(1.0, num_workers=6, rng=0),
+            duration=3.0,
+        )
+        # Every upload lost: the server never updates, accuracy stays
+        # at the initial model's level.
+        assert algorithm.dropped_uploads > 0
+        assert algorithm.server_version == 0
+        assert result.final_accuracy == result.history[0].val_accuracy
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AsyncFedAvg(mixing=0.0)
+        with pytest.raises(ValueError):
+            AsyncFedAvg(staleness_power=-1.0)
+
+
+class TestTimelineAnalysis:
+    def test_time_to_accuracy_table_mixed_results(self, workload):
+        partitions, validation, factory = workload
+        config = ExperimentConfig(rounds=10, eval_every=5, lr=0.2, seed=11)
+        sync = run_experiment(
+            SAPSPSGD(compression_ratio=5.0), partitions, validation,
+            factory, config, SimulatedNetwork(6),
+            compute_model=ConstantCompute(0.05),
+        )
+        algorithm = AsyncGossip(compression_ratio=5.0, base_seed=11)
+        event = run_event_experiment(
+            algorithm, partitions, validation, factory, config,
+            SimulatedNetwork(6, bandwidth=random_uniform_bandwidth(6, rng=11)),
+            compute_model=ConstantCompute(0.05), duration=2.0,
+        )
+        rows = time_to_accuracy_table(
+            {"sync": sync, "async": event}, target_accuracy=0.5
+        )
+        assert {row.algorithm for row in rows} == {"sync", "async"}
+        for row in rows:
+            if row.reached:
+                assert row.time_s is not None and row.time_s >= 0
+        rendered = render_time_to_accuracy(rows)
+        assert "time to target" in rendered
+
+    def test_worker_timeline_breakdown(self, workload):
+        algorithm, result = TestAsyncGossip().run(workload, duration=2.0)
+        rows = worker_timeline(result.trace, result.horizon)
+        assert len(rows) == 6
+        for row in rows:
+            assert row.compute_s >= 0 and row.comm_s >= 0 and row.idle_s >= 0
+            total = row.compute_s + row.comm_s + row.idle_s
+            assert total >= result.horizon - 1e-9 or row.utilization == 1.0
+            assert 0.0 <= row.utilization <= 1.0
+        assert 0.0 < mean_utilization(rows) <= 1.0
+        assert "utilization" in render_worker_timeline(rows)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            time_to_accuracy_table({}, target_accuracy=1.5)
+        with pytest.raises(ValueError):
+            render_time_to_accuracy([])
+
+
+class TestEngineConfig:
+    def test_experiment_config_engine_field(self):
+        assert ExperimentConfig().engine == "sync"
+        assert ExperimentConfig(engine="event").engine == "event"
+        with pytest.raises(ValueError):
+            ExperimentConfig(engine="warp")
+
+    def test_run_validation(self, workload):
+        partitions, validation, factory = workload
+        config = ExperimentConfig(rounds=5, eval_every=5, lr=0.2, seed=11)
+        algorithm = AsyncGossip(compression_ratio=5.0)
+        with pytest.raises(ValueError):
+            run_event_experiment(
+                algorithm, partitions, validation, factory, config,
+                duration=0.0,
+            )
+
+    def test_preset_engine_threading(self):
+        from repro.presets import instantiate_preset
+
+        _, _, _, config = instantiate_preset(
+            "mnist-cnn", num_workers=4, engine="event"
+        )
+        assert config.engine == "event"

@@ -218,6 +218,34 @@ class TestUtilizedBandwidth:
     def test_empty_matching(self):
         assert utilized_bandwidth_per_round([], np.zeros((2, 2))) == float("inf")
 
+    def test_single_pair_is_its_link(self):
+        bandwidth = np.array([[0, 3.5], [3.5, 0]])
+        assert utilized_bandwidth_per_round([(0, 1)], bandwidth) == 3.5
+
+    def test_self_free_matching_ignores_diagonal(self):
+        """A proper (self-free) matching never reads the zero diagonal,
+        so the bottleneck is a real link speed even though every
+        bandwidth matrix carries 0 on the diagonal."""
+        bandwidth = np.array(
+            [[0, 5.0, 1.0, 4.0], [5.0, 0, 2.0, 3.0],
+             [1.0, 2.0, 0, 6.0], [4.0, 3.0, 6.0, 0]]
+        )
+        assert utilized_bandwidth_per_round([(0, 1), (2, 3)], bandwidth) == 5.0
+
+    def test_direction_irrelevant_for_symmetric_matrix(self):
+        bandwidth = np.array([[0, 2.0], [2.0, 0]])
+        assert utilized_bandwidth_per_round(
+            [(0, 1)], bandwidth
+        ) == utilized_bandwidth_per_round([(1, 0)], bandwidth)
+
+    def test_partial_matching_subset_bottleneck(self):
+        """The bottleneck is the minimum over *matched* pairs only —
+        unmatched workers' slow links do not count."""
+        bandwidth = np.array(
+            [[0, 5.0, 0.1], [5.0, 0, 0.1], [0.1, 0.1, 0]]
+        )
+        assert utilized_bandwidth_per_round([(0, 1)], bandwidth) == 5.0
+
 
 class TestSimulatedNetwork:
     def test_send_accounts_bytes_and_time(self):

@@ -70,6 +70,40 @@ class TestHeterogeneousCompute:
             HeterogeneousCompute(4, rng=0).step_time(0, 9)
 
 
+class TestRoundTimePartialParticipation:
+    """round_time over participant subsets: the FedAvg/churn regime."""
+
+    def test_subset_max_only_over_participants(self):
+        model = HeterogeneousCompute(6, spread=8.0, jitter=0.0, rng=2)
+        participants = [1, 3, 4]
+        expected = max(model.step_time(0, rank) for rank in participants)
+        assert model.round_time(0, participants) == pytest.approx(expected)
+
+    def test_singleton_participant(self):
+        model = HeterogeneousCompute(4, jitter=0.0, rng=0)
+        assert model.round_time(2, [3]) == pytest.approx(model.step_time(2, 3))
+
+    def test_empty_participants_is_zero(self):
+        model = HeterogeneousCompute(4, rng=0)
+        assert model.round_time(0, []) == 0.0
+        assert ConstantCompute(0.5).round_time(0, []) == 0.0
+
+    def test_steps_scale_subset_round(self):
+        model = ConstantCompute(0.2)
+        assert model.round_time(0, [0, 2], steps=3) == pytest.approx(0.6)
+
+    def test_excluding_straggler_shrinks_round(self):
+        model = HeterogeneousCompute(5, spread=16.0, jitter=0.0, rng=1)
+        everyone = model.round_time(0, list(range(5)))
+        without = model.round_time(
+            0, [r for r in range(5) if r != model.straggler_rank]
+        )
+        assert without < everyone
+        assert everyone == pytest.approx(
+            model.step_time(0, model.straggler_rank)
+        )
+
+
 class TestEngineComputeIntegration:
     @pytest.fixture
     def workload(self):
