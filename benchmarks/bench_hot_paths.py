@@ -24,7 +24,11 @@ code path, preserved verbatim behind ``use_arena=False``):
 * ``event_round`` — the discrete-event engine's hot paths: raw
   :class:`repro.sim.EventQueue` push/pop throughput (pure bookkeeping —
   the floor every async schedule pays per event) and the end-to-end
-  async-gossip step rate on the standard MLP workload.
+  async-gossip step rate on the standard MLP workload;
+* ``fault_round`` — the same async-gossip run with no fault plan vs an
+  **empty** :class:`repro.sim.FaultPlan`: the empty plan must be inert
+  (identical event count) and add ≤5% wall-clock overhead — the
+  zero-overhead contract of the fault machinery, gated in CI.
 
 The dtype and batched-compression sections always run at n ∈ {32, 128}
 (they are cheap and those are the tracked scale points); the batched
@@ -71,6 +75,7 @@ from repro.sim import (
     make_workers,
     run_event_experiment,
 )
+from repro.sim.faults import FaultPlan
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_hot_paths.json"
@@ -452,6 +457,56 @@ CONV_STEP_COUNTS = [32, 128]
 #: regime where per-worker Python dispatch dominated).
 LOCAL_STEP_COUNTS = [32, 128, 1024]
 
+def bench_fault_round(num_workers: int, repeats: int) -> dict:
+    """Wall-clock cost of an inert (empty) fault plan on the event round.
+
+    Runs the ``event_round`` async-gossip workload twice per repeat —
+    once with ``fault_plan=None``, once with an empty
+    :class:`FaultPlan` — interleaved to cancel thermal/cache drift, and
+    reports the best-of-repeats ratio.  The empty plan is contractually
+    inert: same event count, and the CI gate in ``run_all.sh`` fails
+    the run if it costs more than 5% wall-clock.
+    """
+    partitions = _workload(num_workers)
+    config = ExperimentConfig(rounds=1, batch_size=4, lr=0.05, seed=7)
+    bandwidth = random_uniform_bandwidth(num_workers, rng=7)
+
+    def run_once(plan):
+        network = SimulatedNetwork(num_workers, bandwidth=bandwidth)
+        algorithm = AsyncGossip(compression_ratio=20.0, base_seed=7)
+        gc.collect()
+        start = time.perf_counter()
+        result = run_event_experiment(
+            algorithm,
+            partitions,
+            partitions[0],
+            _model_factory(),
+            config,
+            network,
+            compute_model=ConstantCompute(0.01),
+            duration=2.0,
+            checkpoint_every=1.0,
+            fault_plan=plan,
+        )
+        return time.perf_counter() - start, result.events_processed
+
+    run_once(None)  # warm-up
+    best_none = best_empty = float("inf")
+    events_none = events_empty = 0
+    for _ in range(repeats):
+        wall, events_none = run_once(None)
+        best_none = min(best_none, wall)
+        wall, events_empty = run_once(FaultPlan(num_workers))
+        best_empty = min(best_empty, wall)
+    return {
+        "no_plan_seconds": best_none,
+        "empty_plan_seconds": best_empty,
+        "overhead": best_empty / best_none - 1.0,
+        "events_no_plan": events_none,
+        "events_empty_plan": events_empty,
+    }
+
+
 #: Scale points for the event-engine section (tracked in all modes —
 #: the queue microbench is n-independent, the async gossip run cheap).
 EVENT_ROUND_COUNTS = [32]
@@ -474,6 +529,7 @@ def run_suite(quick: bool, repeats: int) -> dict:
         "local_step_batch": {},
         "conv_step_batch": {},
         "event_round": {},
+        "fault_round": {},
     }
     for n in worker_counts:
         print(f"n={n:4d}  flat round-trip ...", flush=True)
@@ -504,6 +560,8 @@ def run_suite(quick: bool, repeats: int) -> dict:
     for n in EVENT_ROUND_COUNTS:
         print(f"n={n:4d}  event engine (queue + async gossip) ...", flush=True)
         report["event_round"][str(n)] = bench_event_round(n, max(repeats - 2, 2))
+        print(f"n={n:4d}  empty fault plan overhead ...", flush=True)
+        report["fault_round"][str(n)] = bench_fault_round(n, max(repeats - 2, 3))
     return report
 
 
@@ -561,6 +619,13 @@ def render(report: dict) -> str:
             f"queue {row['queue_events_per_second']:>10.0f} ev/s  "
             f"async {row['async_steps_per_second']:>8.0f} steps/s "
             f"({row['async_events']} events)"
+        )
+    for n, row in report["fault_round"].items():
+        lines.append(
+            f"{'fault_round':>16} {n:>5} "
+            f"no-plan {row['no_plan_seconds']:>9.3e}  "
+            f"empty-plan {row['empty_plan_seconds']:>9.3e}  "
+            f"overhead {100 * row['overhead']:>+5.1f}%"
         )
     return "\n".join(lines)
 

@@ -65,4 +65,26 @@ print(
         for n, row in section.items()
     },
 )
+
+# Fault-machinery gate: an empty FaultPlan is contractually inert — it
+# must schedule nothing (identical event count) and add at most 5%
+# wall-clock overhead to the event round.
+section = report.get("fault_round", {})
+if not section:
+    sys.exit("BENCH_hot_paths.json has no fault_round section")
+for n, row in section.items():
+    if row["events_empty_plan"] != row["events_no_plan"]:
+        sys.exit(
+            f"empty fault plan changed the event count at n={n}: "
+            f"{row['events_no_plan']} -> {row['events_empty_plan']}"
+        )
+    if row["overhead"] > 0.05:
+        sys.exit(
+            f"empty fault plan overhead {100 * row['overhead']:.1f}% "
+            f"exceeds 5% at n={n}"
+        )
+print(
+    "fault_round gate ok:",
+    {n: f"{100 * row['overhead']:+.1f}%" for n, row in section.items()},
+)
 PY

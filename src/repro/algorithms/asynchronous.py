@@ -80,8 +80,157 @@ class AsyncAlgorithm(DistributedAlgorithm):
     def start(self) -> None:
         """Schedule every worker's first cycle at t = 0."""
         self._cycle_counts = np.zeros(self.num_workers, dtype=np.int64)
+        #: The broadcast starting point — what a cold recovery restores.
+        self.initial_model = self.workers[0].snapshot_params()
         for rank in range(self.num_workers):
             self._begin_cycle(rank, 0.0)
+
+    # ------------------------------------------------------------------
+    # fault protocol (engine callbacks; no-ops without an active plan)
+    # ------------------------------------------------------------------
+    def restart_worker(self, rank: int, now: float) -> None:
+        """Recovery hook: the worker's state is restored, start it over."""
+        self._begin_cycle(rank, now)
+
+    def on_worker_crashed(self, rank: int, now: float) -> None:
+        """Crash hook: drop variant-specific bookkeeping of the worker."""
+
+    def _schedule_worker(self, rank: int, time: float, action) -> None:
+        """Schedule an event on behalf of ``rank``.
+
+        Fault-free this is :meth:`EventEngine.schedule` verbatim.  With
+        faults active the action captures the worker's incarnation and
+        drops itself if the worker crashed (and possibly restarted) in
+        the meantime — a dead incarnation's compute-done or wake-up
+        events must never touch the restored state.
+        """
+        engine = self.engine
+        if not engine.faults_active:
+            engine.schedule(time, action)
+            return
+        inc = engine.node_incarnation(rank)
+
+        def guarded(t: float) -> None:
+            if engine.worker_up[rank] and engine.incarnation[rank] == inc:
+                action(t)
+
+        engine.schedule(time, guarded)
+
+    def _drive_exchange(
+        self,
+        driver: int,
+        partner: int,
+        num_bytes: int,
+        index: int,
+        on_success,
+        on_give_up,
+        attempt: int = 0,
+        now: Optional[float] = None,
+        takeover: bool = True,
+        bidirectional: bool = True,
+        loss_key: Optional[tuple] = None,
+        driver_inc: Optional[int] = None,
+        partner_inc: Optional[int] = None,
+    ) -> None:
+        """One fault-aware exchange attempt, driven from ``driver``'s side.
+
+        Only called with faults active.  The attempt either:
+
+        * expires at ``policy.timeout`` when the partner is dead,
+          restarted, or the link is down ("waiting on a dead peer");
+        * is dropped by the loss model (the transfer time is paid, the
+          payload is not delivered);
+        * starts a tracked transfer that a mid-flight crash aborts; or
+        * completes, firing ``on_success(t)``.
+
+        Every failure path funnels into the same retry logic: exponential
+        backoff with seed-deterministic jitter, then a fresh attempt;
+        after ``max_retries`` the driver abandons the exchange and
+        ``on_give_up(t, survivor)`` fires (the re-match path).  If the
+        *driver* crashes mid-flight and ``takeover`` is set, the
+        surviving partner inherits the retry loop — a crash always
+        leaves the survivor in charge of its own deadline.
+        """
+        engine = self.engine
+        policy = engine.exchange_policy
+        stats = engine.resilience
+        if now is None:
+            now = engine.now
+        if driver_inc is None:
+            driver_inc = engine.node_incarnation(driver)
+        if partner_inc is None:
+            partner_inc = engine.node_incarnation(partner)
+
+        def driver_ok() -> bool:
+            return (
+                engine.node_up(driver)
+                and engine.node_incarnation(driver) == driver_inc
+            )
+
+        def partner_ok() -> bool:
+            return (
+                engine.node_up(partner)
+                and engine.node_incarnation(partner) == partner_inc
+            )
+
+        def retry(t: float) -> None:
+            self._drive_exchange(
+                driver, partner, num_bytes, index, on_success, on_give_up,
+                attempt + 1, t, takeover=takeover,
+                bidirectional=bidirectional, loss_key=loss_key,
+                driver_inc=driver_inc, partner_inc=partner_inc,
+            )
+
+        def fail(t: float) -> None:
+            if not driver_ok():
+                if takeover and partner_ok():
+                    # The driver died mid-exchange: the survivor takes
+                    # over the retry loop from its own side.
+                    self._drive_exchange(
+                        partner, driver, num_bytes, index, on_success,
+                        on_give_up, attempt + 1, t, takeover=takeover,
+                        bidirectional=bidirectional, loss_key=loss_key,
+                        driver_inc=partner_inc, partner_inc=driver_inc,
+                    )
+                return
+            if attempt >= policy.max_retries:
+                stats.give_ups += 1
+                on_give_up(t, driver)
+                return
+            stats.retries += 1
+            delay = policy.backoff_delay(driver, attempt, index)
+            engine.schedule(t + delay, retry)
+
+        stats.attempted_exchanges += 1
+        if not (partner_ok() and engine.exchange_viable(driver, partner)):
+            # Waiting on a dead, restarted or unreachable peer: the
+            # attempt expires at its deadline, then backs off.
+            stats.timeout_exchanges += 1
+            engine.schedule(now + policy.timeout, fail)
+            return
+        loss = engine.loss_model
+        if loss is not None:
+            key = loss_key if loss_key is not None else (driver, partner)
+            if loss.exchange_fails(index, *key):
+                # Lost in transit: the transfer time is paid, the payload
+                # never arrives, and the deadline machinery retries.
+                stats.lost_exchanges += 1
+                duration = engine.transfer_seconds(driver, partner, num_bytes)
+                if bidirectional:
+                    duration = max(
+                        duration,
+                        engine.transfer_seconds(partner, driver, num_bytes),
+                    )
+                engine.schedule(now + duration, fail)
+                return
+        if bidirectional:
+            engine.start_tracked_exchange(
+                now, driver, partner, num_bytes, index, on_success, fail
+            )
+        else:
+            engine.start_tracked_transfer(
+                now, driver, partner, num_bytes, index, on_success, fail
+            )
 
     def run_round(self, round_index: int) -> float:
         raise NotImplementedError(
@@ -99,9 +248,11 @@ class AsyncAlgorithm(DistributedAlgorithm):
     # the worker cycle
     # ------------------------------------------------------------------
     def _begin_cycle(self, rank: int, start: float) -> None:
+        engine = self.engine
+        if engine.faults_active and not engine.worker_up[rank]:
+            return  # a dead worker's cycle restarts through recovery
         cycle = int(self._cycle_counts[rank])
         self._cycle_counts[rank] += 1
-        engine = self.engine
         if engine.churn is not None:
             active = engine.churn.active_at(cycle)
             if not active[rank]:
@@ -110,8 +261,8 @@ class AsyncAlgorithm(DistributedAlgorithm):
                 pause = engine.compute_seconds(cycle, rank, self.local_steps)
                 if pause <= 0.0:
                     pause = 1.0
-                engine.schedule(
-                    start + pause, lambda t, r=rank: self._begin_cycle(r, t)
+                self._schedule_worker(
+                    rank, start + pause, lambda t, r=rank: self._begin_cycle(r, t)
                 )
                 return
         self._start_cycle(rank, cycle, start)
@@ -123,8 +274,8 @@ class AsyncAlgorithm(DistributedAlgorithm):
         duration = engine.compute_seconds(cycle, rank, self.local_steps)
         engine.trace.add(rank, "compute", start, start + duration)
         engine.worker_free[rank] = start + duration
-        engine.schedule(
-            start + duration, lambda t, r=rank: self._on_compute_done(r, t)
+        self._schedule_worker(
+            rank, start + duration, lambda t, r=rank: self._on_compute_done(r, t)
         )
 
     def _on_compute_done(self, rank: int, now: float) -> None:
@@ -188,6 +339,12 @@ class AsyncGossip(AsyncAlgorithm):
         self._waiting = []
         super().start()
 
+    def on_worker_crashed(self, rank: int, now: float) -> None:
+        # A crashed worker must not linger in the matching pool — a
+        # later arrival would pair with a corpse.
+        if rank in self._waiting:
+            self._waiting.remove(rank)
+
     def _pick_partner(self, rank: int) -> int:
         if len(self._waiting) == 1:
             return self._waiting[0]
@@ -214,6 +371,9 @@ class AsyncGossip(AsyncAlgorithm):
         index = self.exchange_count
         self.exchange_count += 1
         engine = self.engine
+        if engine.faults_active:
+            self._faulty_exchange(rank, partner, index, now)
+            return
         if engine.loss_model is not None and engine.loss_model.exchange_fails(
             index, rank, partner
         ):
@@ -232,6 +392,38 @@ class AsyncGossip(AsyncAlgorithm):
         engine.schedule(
             done,
             lambda t, a=rank, b=partner, idx=indices: self._merge(a, b, idx, t),
+        )
+
+    def _faulty_exchange(
+        self, rank: int, partner: int, index: int, now: float
+    ) -> None:
+        """The matched pair's exchange under an active fault plan: same
+        masked-average math, but crash-abortable with deadline/backoff
+        retries (loss drops are retried instead of silently skipped)."""
+        engine = self.engine
+        seed = derive_seed(self.base_seed, "mask", index)
+        mask = generate_mask(self.model_size, self.compression_ratio, seed)
+        indices = np.flatnonzero(mask)
+        payload_bytes = int(indices.size) * BYTES_PER_VALUE
+        incarnations = {
+            rank: engine.node_incarnation(rank),
+            partner: engine.node_incarnation(partner),
+        }
+
+        def on_success(t: float, a=rank, b=partner, idx=indices) -> None:
+            self._merge(a, b, idx, t)
+
+        def on_give_up(t: float, survivor: int) -> None:
+            # Abandoned exchange: every party still alive in its matched
+            # incarnation re-enters the cycle loop (the re-match path);
+            # dead ones restart through recovery.
+            self.dropped_exchanges += 1
+            for node, inc in incarnations.items():
+                if engine.node_up(node) and engine.node_incarnation(node) == inc:
+                    self._begin_cycle(node, t)
+
+        self._drive_exchange(
+            rank, partner, payload_bytes, index, on_success, on_give_up
         )
 
     def _merge(self, a: int, b: int, indices: np.ndarray, now: float) -> None:
@@ -291,13 +483,16 @@ class AsyncDPSGD(AsyncAlgorithm):
         self._loss_sum += loss
         self._loss_events += 1
         base_mixes = int(self._mix_counts[rank])
+        engine = self.engine
 
+        if engine.faults_active:
+            self._faulty_average(rank, gradient, base_mixes, now)
+            return
         peer = int(self._rng.integers(self.num_workers - 1))
         if peer >= rank:
             peer += 1
         index = self.exchange_count
         self.exchange_count += 1
-        engine = self.engine
         if engine.loss_model is not None and engine.loss_model.exchange_fails(
             index, rank, peer
         ):
@@ -313,6 +508,39 @@ class AsyncDPSGD(AsyncAlgorithm):
             lambda t, r=rank, p=peer, g=gradient, b=base_mixes: (
                 self._average_then_apply(r, p, g, b, t)
             ),
+        )
+
+    def _faulty_average(
+        self, rank: int, gradient: np.ndarray, base_mixes: int, now: float
+    ) -> None:
+        """Peer averaging under an active fault plan: the peer is drawn
+        uniformly among *live* workers, the exchange is crash-abortable
+        with deadline/backoff retries, and a worker that exhausts its
+        retries applies the held gradient unmixed (AD-PSGD's averaging
+        needs no peer cooperation, so nobody else is parked)."""
+        engine = self.engine
+        live = [
+            peer
+            for peer in range(self.num_workers)
+            if peer != rank and engine.worker_up[peer]
+        ]
+        if not live:
+            # Last worker standing: no averaging possible this cycle.
+            self._apply(rank, gradient, base_mixes, now)
+            return
+        peer = live[int(self._rng.integers(len(live)))]
+        index = self.exchange_count
+        self.exchange_count += 1
+
+        def on_success(t: float, r=rank, p=peer, g=gradient, b=base_mixes):
+            self._average_then_apply(r, p, g, b, t)
+
+        def on_give_up(t: float, survivor: int, r=rank, g=gradient, b=base_mixes):
+            self._apply(r, g, b, t)
+
+        self._drive_exchange(
+            rank, peer, self.model_size * BYTES_PER_VALUE, index,
+            on_success, on_give_up, takeover=False,
         )
 
     def _row(self, rank: int) -> np.ndarray:
@@ -416,14 +644,15 @@ class AsyncFedAvg(AsyncAlgorithm):
         # The download carries the global model as of its start.
         snapshot = self.global_model.copy()
         base_version = self.server_version
-        _, dl_end = engine.start_transfer(
-            start, TrafficMeter.SERVER, rank, model_bytes, self.upload_count
-        )
-        engine.schedule(
-            max(dl_end, start),
+        # Tracked: a crash mid-download aborts the transfer and frees the
+        # server's transmit end (identical to the classic transfer +
+        # scheduled completion when no fault plan is active).
+        engine.start_tracked_transfer(
+            start, TrafficMeter.SERVER, rank, model_bytes, self.upload_count,
             lambda t, r=rank, c=cycle, s=snapshot, v=base_version: (
                 self._on_download(r, c, s, v, t)
             ),
+            counted=False,
         )
 
     def _on_download(
@@ -438,7 +667,8 @@ class AsyncFedAvg(AsyncAlgorithm):
         duration = engine.compute_seconds(cycle, rank, self.local_steps)
         engine.trace.add(rank, "compute", now, now + duration)
         engine.worker_free[rank] = now + duration
-        engine.schedule(
+        self._schedule_worker(
+            rank,
             now + duration,
             lambda t, r=rank, v=base_version: self._on_local_done(r, v, t),
         )
@@ -449,6 +679,23 @@ class AsyncFedAvg(AsyncAlgorithm):
         model_bytes = self.model_size * BYTES_PER_VALUE
         index = self.upload_count
         self.upload_count += 1
+        if engine.faults_active:
+            # Upload under faults: deadline + backoff retries on loss or
+            # mid-flight crash; exhausting the budget abandons the upload
+            # (the server never sees it) and starts a fresh cycle.
+            def on_success(t: float, r=rank, v=base_version):
+                self._on_upload(r, v, t)
+
+            def on_give_up(t: float, survivor: int, r=rank):
+                self.dropped_uploads += 1
+                self._begin_cycle(r, t)
+
+            self._drive_exchange(
+                rank, TrafficMeter.SERVER, model_bytes, index,
+                on_success, on_give_up, takeover=False,
+                bidirectional=False, loss_key=(rank, rank),
+            )
+            return
         if engine.loss_model is not None and engine.loss_model.exchange_fails(
             index, rank, rank
         ):

@@ -32,6 +32,17 @@ from repro.analysis.crossover import (
     dominance_summary,
     find_crossovers,
 )
+from repro.analysis.resilience import (
+    Degradation,
+    ResilienceSummary,
+    WorkerResilience,
+    degradation_report,
+    render_degradation,
+    render_resilience_summary,
+    render_worker_resilience,
+    resilience_summary,
+    worker_resilience_table,
+)
 from repro.analysis.timeline import (
     TimeToAccuracy,
     WorkerTimeline,
@@ -76,4 +87,13 @@ __all__ = [
     "worker_timeline",
     "render_worker_timeline",
     "mean_utilization",
+    "ResilienceSummary",
+    "WorkerResilience",
+    "Degradation",
+    "resilience_summary",
+    "render_resilience_summary",
+    "worker_resilience_table",
+    "render_worker_resilience",
+    "degradation_report",
+    "render_degradation",
 ]

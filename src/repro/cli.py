@@ -124,7 +124,22 @@ def _config(args) -> ExperimentConfig:
         dtype=args.dtype,
         local_steps=args.local_steps,
         engine=getattr(args, "engine", "sync"),
+        fault_plan=getattr(args, "fault_plan", None),
+        exchange_timeout=getattr(args, "exchange_timeout", 5.0),
+        recovery=getattr(args, "recovery", "checkpoint"),
     )
+
+
+def _parse_fault_plan(args, horizon: float):
+    """Parse ``--fault-plan`` into a :class:`FaultPlan` (None when unset
+    or empty — the bit-identical fault-free path)."""
+    from repro.sim.faults import FaultPlan
+
+    spec = getattr(args, "fault_plan", None)
+    plan = FaultPlan.parse(spec, args.workers, horizon=horizon, seed=args.seed)
+    if plan is not None and plan.is_empty:
+        return None
+    return plan
 
 
 def _history_table(result) -> str:
@@ -191,6 +206,19 @@ def cmd_run_event(args, partitions, validation, factory, config) -> int:
         ),
     )
     compute_model = _build_compute_model(args)
+    plan = _parse_fault_plan(args, horizon=args.sim_time)
+    exchange_policy = recovery = None
+    if plan is not None:
+        from repro.resilience import ExchangePolicy, make_recovery_policy
+
+        exchange_policy = ExchangePolicy(
+            timeout=args.exchange_timeout,
+            max_retries=args.max_retries,
+            seed=args.seed,
+        )
+        recovery = make_recovery_policy(
+            args.recovery, checkpoint_interval=args.checkpoint_interval
+        )
     async_factory = ASYNC_FACTORIES.get(args.algorithm)
     if async_factory is not None:
         algorithm = async_factory(args)
@@ -198,14 +226,39 @@ def cmd_run_event(args, partitions, validation, factory, config) -> int:
             algorithm, partitions, validation, factory, config, network,
             compute_model=compute_model, duration=args.sim_time,
             checkpoint_every=args.checkpoint_every,
+            fault_plan=plan, exchange_policy=exchange_policy,
+            recovery=recovery,
         )
     else:
+        if plan is not None:
+            raise SystemExit(
+                f"--fault-plan with --engine event requires an asynchronous "
+                f"variant ({', '.join(sorted(ASYNC_FACTORIES))}); "
+                f"{args.algorithm} replays synchronously — use the sync "
+                f"engine's round-level projection instead"
+            )
         algorithm = ALGORITHM_FACTORIES[args.algorithm](args)
         result = run_sync_timeline(
             algorithm, partitions, validation, factory, config, network,
             compute_model=compute_model,
         )
     print(_timed_history_table(result))
+    if result.resilience is not None:
+        from repro.analysis import (
+            render_resilience_summary,
+            render_worker_resilience,
+            resilience_summary,
+            worker_resilience_table,
+        )
+
+        print()
+        print(render_resilience_summary(resilience_summary(result.resilience)))
+        print()
+        print(
+            render_worker_resilience(
+                worker_resilience_table(result.resilience, result.horizon)
+            )
+        )
     if result.trace is not None and result.horizon > 0:
         print()
         print(render_worker_timeline(worker_timeline(result.trace, result.horizon)))
@@ -231,6 +284,9 @@ def cmd_run(args) -> int:
             dtype=args.dtype,
             local_steps=args.local_steps,
             engine=args.engine,
+            fault_plan=args.fault_plan,
+            exchange_timeout=args.exchange_timeout,
+            recovery=args.recovery,
         )
         print(f"Preset: {args.preset} (fast={not args.full_model})")
     else:
@@ -245,6 +301,20 @@ def cmd_run(args) -> int:
         server_bandwidth=float(bandwidth.max()) if bandwidth is not None else None,
     )
     algorithm = ALGORITHM_FACTORIES[args.algorithm](args)
+    plan = _parse_fault_plan(args, horizon=args.rounds * args.round_duration)
+    if plan is not None:
+        # Round-level projection: the same timed plan the event engine
+        # consumes, collapsed to per-round masks — a worker down anytime
+        # within a round's window sits that round out, a downed link
+        # drops its exchanges.
+        if not (hasattr(algorithm, "churn") and hasattr(algorithm, "loss_model")):
+            raise SystemExit(
+                f"--fault-plan on the sync engine requires an algorithm "
+                f"with churn/loss support (saps-psgd); {args.algorithm} "
+                f"has none — use --engine event"
+            )
+        algorithm.churn = plan.round_churn(args.round_duration)
+        algorithm.loss_model = plan.round_loss(args.round_duration)
     result = run_experiment(
         algorithm, partitions, validation, factory, config, network
     )
@@ -458,6 +528,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--compute-spread", type=float, default=1.0,
         help="event engine: straggler spread (1 = constant compute; "
         ">1 draws per-worker means log-uniform over [t/s, t*s])",
+    )
+    run_p.add_argument(
+        "--fault-plan", type=str, default=None,
+        help="fault injection: scripted events "
+        "('crash:1@3.0,recover:1@8.0,link_down:0-2@1.0,link_up:0-2@4.0') "
+        "or seeded exponentials ('mttf=20,mttr=5'); 'none' or empty "
+        "disables (bit-identical to a fault-free run).  Timed semantics "
+        "on --engine event; projected to per-round masks on sync",
+    )
+    run_p.add_argument(
+        "--exchange-timeout", type=float, default=5.0,
+        help="faults: per-exchange deadline in simulated seconds before "
+        "the survivor backs off and retries",
+    )
+    run_p.add_argument(
+        "--max-retries", type=int, default=3,
+        help="faults: backoff retries before an exchange is abandoned "
+        "(the re-match path)",
+    )
+    run_p.add_argument(
+        "--recovery", choices=["checkpoint", "peer", "cold"],
+        default="checkpoint",
+        help="faults: what a recovering worker restarts from — its last "
+        "periodic snapshot, a live neighbor's model, or the initial "
+        "broadcast model",
+    )
+    run_p.add_argument(
+        "--checkpoint-interval", type=float, default=1.0,
+        help="faults: simulated seconds between recovery snapshots "
+        "(checkpoint recovery only)",
+    )
+    run_p.add_argument(
+        "--round-duration", type=float, default=1.0,
+        help="sync engine + --fault-plan: simulated seconds one round "
+        "spans when projecting timed faults to per-round masks",
     )
     common(run_p)
     run_p.set_defaults(func=cmd_run)

@@ -91,9 +91,19 @@ class BurstLossModel(LossModel):
     """Gilbert-Elliott bursty loss: links alternate between a good state
     (rare loss) and a bad state (frequent loss).
 
-    State transitions are sampled lazily per link per round and cached,
-    so queries are deterministic given the seed regardless of order
-    within a round sequence (monotone round access assumed).
+    Every link owns two **independent seeded substreams** derived from
+    the model seed via ``SeedSequence(entropy, spawn_key=(a, b))``: one
+    for its state transitions (one draw per round) and one for the loss
+    Bernoullis (one draw per query).  Consequences:
+
+    * a link's state trajectory is a pure function of ``(seed, a, b)``
+      — querying other links, or the same link more often, never shifts
+      it (*stream stability*, tested in ``tests/test_faults.py``);
+    * repeated queries at the same round index are allowed (the event
+      engine's retry path re-asks the same exchange index); rounds must
+      still be non-decreasing *per link*;
+    * self-loops (``a == b``, the server-upload convention) are always
+      in the good state.
     """
 
     def __init__(
@@ -110,39 +120,89 @@ class BurstLossModel(LossModel):
             ("p_good_to_bad", p_good_to_bad), ("p_bad_to_good", p_bad_to_good),
         ]:
             check_probability(value, name)
+        if num_workers < 1:
+            raise ValueError(f"need at least 1 worker, got {num_workers}")
         self.num_workers = num_workers
         self.good_loss = good_loss
         self.bad_loss = bad_loss
         self.p_good_to_bad = p_good_to_bad
         self.p_bad_to_good = p_bad_to_good
-        self._rng = as_generator(rng)
-        # bad[a, b]: current state per link (False = good).
+        self._entropy = (
+            int(rng) if isinstance(rng, (int, np.integer))
+            else int(as_generator(rng).integers(2**31))
+        )
+        # Per-link lazily spawned streams: key = (min(a,b), max(a,b)).
+        self._transition_rng: dict = {}
+        self._loss_rng: dict = {}
+        self._link_round: dict = {}
+        # bad[a, b]: current state per link (False = good); kept
+        # symmetric, diagonal always good.
         self._bad = np.zeros((num_workers, num_workers), dtype=bool)
         self._round = 0
         self.failures = 0
         self.attempts = 0
 
-    def _advance_to(self, round_index: int) -> None:
-        while self._round < round_index:
-            draws = self._rng.random((self.num_workers, self.num_workers))
-            go_bad = ~self._bad & (draws < self.p_good_to_bad)
-            go_good = self._bad & (draws < self.p_bad_to_good)
-            self._bad = (self._bad | go_bad) & ~go_good
-            self._bad = np.triu(self._bad, 1)
-            self._bad = self._bad | self._bad.T
-            self._round += 1
+    def _link_key(self, a: int, b: int) -> Tuple[int, int]:
+        for rank in (a, b):
+            if not 0 <= rank < self.num_workers:
+                raise ValueError(
+                    f"worker index {rank} out of range for a "
+                    f"{self.num_workers}-worker loss model (valid: "
+                    f"0..{self.num_workers - 1})"
+                )
+        return (min(a, b), max(a, b))
+
+    def _streams(self, key: Tuple[int, int]):
+        if key not in self._transition_rng:
+            root = np.random.SeedSequence(self._entropy, spawn_key=key)
+            transitions, losses = root.spawn(2)
+            self._transition_rng[key] = np.random.default_rng(transitions)
+            self._loss_rng[key] = np.random.default_rng(losses)
+            self._link_round[key] = 0
+        return self._transition_rng[key], self._loss_rng[key]
+
+    def _advance_link(self, key: Tuple[int, int], round_index: int) -> None:
+        transitions, _ = self._streams(key)
+        a, b = key
+        if a == b:
+            self._link_round[key] = max(self._link_round[key], round_index)
+            return  # self-loops never leave the good state
+        bad = bool(self._bad[a, b])
+        while self._link_round[key] < round_index:
+            draw = transitions.random()
+            if bad:
+                bad = not (draw < self.p_bad_to_good)
+            else:
+                bad = draw < self.p_good_to_bad
+            self._link_round[key] += 1
+        self._bad[a, b] = self._bad[b, a] = bad
 
     def exchange_fails(self, round_index: int, a: int, b: int) -> bool:
-        if round_index < self._round:
-            raise ValueError("BurstLossModel requires monotone round access")
-        self._advance_to(round_index)
+        key = self._link_key(a, b)
+        self._streams(key)
+        if round_index < self._link_round[key]:
+            raise ValueError(
+                "BurstLossModel requires non-decreasing round access per "
+                f"link: link {key} was last queried at round "
+                f"{self._link_round[key]}, got {round_index}"
+            )
+        self._advance_link(key, round_index)
+        self._round = max(self._round, round_index)
         rate = self.bad_loss if self._bad[a, b] else self.good_loss
         self.attempts += 1
-        failed = self._rng.random() < rate
+        failed = self._loss_rng[key].random() < rate
         self.failures += int(failed)
         return failed
 
     def bad_fraction(self) -> float:
-        """Fraction of links currently in the bad state."""
+        """Fraction of links in the bad state at the latest queried round.
+
+        Advances every link's chain to the highest round seen so far,
+        so the snapshot is consistent across links.  (After calling
+        this, no link may be queried at an earlier round.)
+        """
+        for a in range(self.num_workers):
+            for b in range(a + 1, self.num_workers):
+                self._advance_link(self._link_key(a, b), self._round)
         upper = np.triu(np.ones_like(self._bad), 1).astype(bool)
         return float(self._bad[upper].mean())

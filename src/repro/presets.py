@@ -144,6 +144,9 @@ def instantiate_preset(
     dtype: str = "float64",
     local_steps: int = 1,
     engine: str = "sync",
+    fault_plan: Optional[str] = None,
+    exchange_timeout: float = 5.0,
+    recovery: str = "checkpoint",
 ) -> Tuple[List[Dataset], Dataset, Callable[[], Module], ExperimentConfig]:
     """Build (partitions, validation, model_factory, config) for a preset.
 
@@ -214,5 +217,8 @@ def instantiate_preset(
         dtype=dtype,
         local_steps=local_steps,
         engine=engine,
+        fault_plan=fault_plan,
+        exchange_timeout=exchange_timeout,
+        recovery=recovery,
     )
     return partitions, validation, model_factory, config

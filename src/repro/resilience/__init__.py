@@ -1,0 +1,40 @@
+"""Fault recovery: exchange retry policies, checkpoints, resilience stats.
+
+The recovery half of the fault-injection story
+(:mod:`repro.sim.faults` schedules the faults; this package decides how
+the system survives them):
+
+* :class:`ExchangePolicy` — per-exchange deadline + exponential-backoff
+  retry with seed-deterministic jitter;
+* :class:`CheckpointRecovery` / :class:`PeerRecovery` /
+  :class:`ColdRecovery` — what a recovering worker restarts from;
+* :class:`CheckpointStore` — latest periodic per-worker snapshots
+  (params + optimizer velocity + error-feedback residual);
+* :class:`ResilienceStats` — goodput, retry/abort counts, downtime and
+  MTTR accounting, consumed by :mod:`repro.analysis.resilience`.
+"""
+
+from repro.resilience.checkpoint import CheckpointStore, WorkerSnapshot
+from repro.resilience.policy import (
+    RECOVERY_POLICIES,
+    CheckpointRecovery,
+    ColdRecovery,
+    ExchangePolicy,
+    PeerRecovery,
+    RecoveryPolicy,
+    make_recovery_policy,
+)
+from repro.resilience.stats import ResilienceStats
+
+__all__ = [
+    "CheckpointStore",
+    "WorkerSnapshot",
+    "ExchangePolicy",
+    "RecoveryPolicy",
+    "CheckpointRecovery",
+    "PeerRecovery",
+    "ColdRecovery",
+    "RECOVERY_POLICIES",
+    "make_recovery_policy",
+    "ResilienceStats",
+]

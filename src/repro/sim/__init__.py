@@ -42,6 +42,12 @@ from repro.sim.events import (
     run_event_experiment,
     run_sync_timeline,
 )
+from repro.sim.faults import (
+    FaultChurn,
+    FaultEvent,
+    FaultLinkLoss,
+    FaultPlan,
+)
 
 __all__ = [
     "TrainingWorker",
@@ -74,4 +80,8 @@ __all__ = [
     "TimedRecord",
     "run_event_experiment",
     "run_sync_timeline",
+    "FaultPlan",
+    "FaultEvent",
+    "FaultChurn",
+    "FaultLinkLoss",
 ]

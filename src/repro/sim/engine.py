@@ -72,6 +72,18 @@ class ExperimentConfig:
     #: (cli, presets) read it; :func:`run_experiment` itself *is* the
     #: sync engine.
     engine: str = "sync"
+    #: Fault-injection spec (advisory, like ``engine``): ``None`` for a
+    #: fault-free run, else a :meth:`repro.sim.faults.FaultPlan.parse`
+    #: string — scripted events ("crash:1@3.0,recover:1@8.0") or seeded
+    #: MTTF/MTTR exponentials ("mttf=20,mttr=5").  Dispatchers (cli,
+    #: presets) parse it; an empty plan leaves runs bit-identical.
+    fault_plan: Optional[str] = None
+    #: Per-exchange deadline in simulated seconds before a survivor's
+    #: retry/backoff machinery kicks in (event engine, faults active).
+    exchange_timeout: float = 5.0
+    #: Recovery policy for crashed workers: "checkpoint", "peer" or
+    #: "cold" (:mod:`repro.resilience`).
+    recovery: str = "checkpoint"
 
     def __post_init__(self) -> None:
         if self.rounds <= 0:
@@ -90,6 +102,15 @@ class ExperimentConfig:
         if self.engine not in ("sync", "event"):
             raise ValueError(
                 f"engine must be 'sync' or 'event', got {self.engine!r}"
+            )
+        if self.exchange_timeout <= 0:
+            raise ValueError(
+                f"exchange_timeout must be positive, got {self.exchange_timeout}"
+            )
+        if self.recovery not in ("checkpoint", "peer", "cold"):
+            raise ValueError(
+                f"recovery must be 'checkpoint', 'peer' or 'cold', "
+                f"got {self.recovery!r}"
             )
 
 

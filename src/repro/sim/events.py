@@ -38,10 +38,23 @@ import numpy as np
 from repro.data.datasets import Dataset
 from repro.network.metrics import MB, CommunicationTimer, TrafficMeter
 from repro.network.transport import SimulatedNetwork
+from repro.resilience import (
+    CheckpointRecovery,
+    ExchangePolicy,
+    RecoveryPolicy,
+    ResilienceStats,
+    make_recovery_policy,
+)
 from repro.sim.engine import ExperimentConfig, evaluate_consensus, make_workers
+from repro.sim.faults import FaultPlan
 from repro.sim.timing import ComputeModel, ConstantCompute
 from repro.utils.dtypes import resolve_dtype
 from repro.utils.rng import as_generator
+
+
+#: Tombstone marking a cancelled queue entry (``None`` stays a valid
+#: action payload).
+_CANCELLED = object()
 
 
 class EventQueue:
@@ -51,33 +64,61 @@ class EventQueue:
     breaks ties), so processing order never depends on heap internals —
     the determinism guarantee every async variant's seed-reproducibility
     rests on.
+
+    :meth:`push` returns a handle that :meth:`cancel` turns into a
+    no-op in place (the crash machinery aborts scheduled transfer
+    completions this way).  Cancellation never touches the heap
+    structure, so the pop order of surviving events is exactly what it
+    would have been — determinism survives aborts.
     """
 
-    __slots__ = ("_heap", "_count")
+    __slots__ = ("_heap", "_count", "_live")
 
     def __init__(self) -> None:
-        self._heap: List[Tuple[float, int, Callable]] = []
+        # Entries are mutable [time, seq, action] lists; a cancelled
+        # entry keeps its heap position with action = _CANCELLED.
+        self._heap: List[List] = []
         self._count = 0
+        self._live = 0
 
-    def push(self, time: float, action: Callable) -> None:
+    def push(self, time: float, action: Callable) -> List:
         time = float(time)
         if not np.isfinite(time) or time < 0.0:
             raise ValueError(f"event time must be finite and >= 0, got {time}")
-        heapq.heappush(self._heap, (time, self._count, action))
+        entry = [time, self._count, action]
+        heapq.heappush(self._heap, entry)
         self._count += 1
+        self._live += 1
+        return entry
+
+    def cancel(self, entry: List) -> None:
+        """Void a pushed event (idempotent); survivors keep their order."""
+        if entry[2] is not _CANCELLED:
+            entry[2] = _CANCELLED
+            self._live -= 1
 
     def pop(self) -> Tuple[float, Callable]:
-        time, _, action = heapq.heappop(self._heap)
-        return time, action
+        while True:
+            entry = heapq.heappop(self._heap)
+            time, _, action = entry
+            if action is not _CANCELLED:
+                # Tombstone the popped entry so a late cancel() against
+                # its handle is a harmless no-op.
+                entry[2] = _CANCELLED
+                self._live -= 1
+                return time, action
 
     def peek_time(self) -> Optional[float]:
-        return self._heap[0][0] if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2] is _CANCELLED:
+            heapq.heappop(heap)  # drop cancelled entries lazily
+        return heap[0][0] if heap else None
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return self._live
 
     def __bool__(self) -> bool:
-        return bool(self._heap)
+        return self._live > 0
 
 
 @dataclass
@@ -165,6 +206,9 @@ class EventResult:
     #: the synchronous engine's per-round numbers.
     round_compute_seconds: List[float] = field(default_factory=list)
     round_comm_seconds: List[float] = field(default_factory=list)
+    #: Fault accounting (goodput, retries, downtime, restores) — None
+    #: unless the run had an active fault plan.
+    resilience: Optional[ResilienceStats] = None
 
     @property
     def final_accuracy(self) -> float:
@@ -209,6 +253,9 @@ class EventEngine:
         churn=None,
         loss_model=None,
         contention: bool = True,
+        fault_plan: Optional[FaultPlan] = None,
+        exchange_policy: Optional[ExchangePolicy] = None,
+        recovery: Optional[RecoveryPolicy] = None,
     ) -> None:
         self.network = network
         self.num_workers = network.num_workers
@@ -224,6 +271,39 @@ class EventEngine:
         self._link_free: Dict[Tuple, float] = {}
         self.trace = EventTrace(self.num_workers)
         self.events_processed = 0
+        # --- fault state -------------------------------------------------
+        # The contract: with no plan (or an empty one) the engine performs
+        # *exactly* the operations of the fault-free engine — same events,
+        # same RNG draws, same metering — so no-fault runs stay
+        # bit-identical to pre-fault-subsystem outputs.
+        self.fault_plan = fault_plan
+        self.faults_active = fault_plan is not None and not fault_plan.is_empty
+        if fault_plan is not None and fault_plan.num_workers != self.num_workers:
+            raise ValueError(
+                f"fault plan is for {fault_plan.num_workers} workers but the "
+                f"network has {self.num_workers}"
+            )
+        self.worker_up = np.ones(self.num_workers, dtype=bool)
+        #: Bumped at each crash; events scheduled on behalf of a worker
+        #: capture its incarnation and drop themselves when it changed —
+        #: stale callbacks of a dead incarnation never fire.
+        self.incarnation = np.zeros(self.num_workers, dtype=np.int64)
+        self._down_links: set = set()
+        if self.faults_active:
+            self.exchange_policy = exchange_policy or ExchangePolicy()
+            self.recovery = recovery or make_recovery_policy("checkpoint")
+            self.resilience: Optional[ResilienceStats] = ResilienceStats(
+                self.num_workers
+            )
+        else:
+            self.exchange_policy = exchange_policy
+            self.recovery = recovery
+            self.resilience = None
+        #: In-flight tracked transfers by id: (node_a, node_b, completion
+        #: queue entry, link-reservation rollback info, abort callback).
+        self._inflight: Dict[int, Tuple] = {}
+        self._next_transfer_id = 0
+        self._algorithm = None
 
     # ------------------------------------------------------------------
     # time helpers
@@ -285,6 +365,221 @@ class EventEngine:
         return begin, end
 
     # ------------------------------------------------------------------
+    # fault queries
+    # ------------------------------------------------------------------
+    def node_up(self, node: int) -> bool:
+        """Liveness of a node (the parameter server never crashes)."""
+        if node == TrafficMeter.SERVER:
+            return True
+        return bool(self.worker_up[node])
+
+    def node_incarnation(self, node: int) -> int:
+        return 0 if node == TrafficMeter.SERVER else int(self.incarnation[node])
+
+    def exchange_viable(self, a: int, b: int) -> bool:
+        """Both ends live and the link between them not down."""
+        if not (self.node_up(a) and self.node_up(b)):
+            return False
+        if TrafficMeter.SERVER in (a, b):
+            return True
+        return (min(a, b), max(a, b)) not in self._down_links
+
+    # ------------------------------------------------------------------
+    # tracked transfers (crash-abortable)
+    # ------------------------------------------------------------------
+    def _track(
+        self,
+        a: int,
+        b: int,
+        done: float,
+        reservations: Dict[Tuple, Optional[float]],
+        on_success: Callable,
+        on_abort: Optional[Callable],
+        counted: bool,
+    ) -> None:
+        tid = self._next_transfer_id
+        self._next_transfer_id += 1
+
+        def complete(t: float) -> None:
+            self._inflight.pop(tid, None)
+            if counted and self.resilience is not None:
+                self.resilience.completed_exchanges += 1
+            on_success(t)
+
+        handle = self.queue.push(done, complete)
+        after = {key: self._link_free.get(key) for key in reservations}
+        self._inflight[tid] = (a, b, handle, reservations, after, on_abort, counted)
+
+    def _snapshot_reservations(self, pairs) -> Dict[Tuple, Optional[float]]:
+        keys = set()
+        for sender, receiver in pairs:
+            keys.update(SimulatedNetwork.link_endpoints(sender, receiver))
+        return {key: self._link_free.get(key) for key in keys}
+
+    def start_tracked_exchange(
+        self,
+        now: float,
+        a: int,
+        b: int,
+        num_bytes: int,
+        index: int,
+        on_success: Callable,
+        on_abort: Optional[Callable] = None,
+        counted: bool = True,
+    ) -> None:
+        """Bidirectional exchange whose completion a crash can abort.
+
+        Without an active fault plan this degenerates to exactly the
+        classic pattern — two :meth:`start_transfer` calls plus one
+        scheduled completion event — so fault-free runs are untouched.
+        With faults active the completion event is registered in the
+        in-flight table: a crash of either end cancels it, rolls the
+        link reservations back and fires ``on_abort`` at crash time.
+        If the exchange would outlive the policy deadline it is not
+        started at all; ``on_abort`` fires at the deadline instead.
+        """
+        if not self.faults_active:
+            _, end_a = self.start_transfer(now, a, b, num_bytes, index)
+            _, end_b = self.start_transfer(now, b, a, num_bytes, index)
+            self.schedule(max(end_a, end_b, now), on_success)
+            return
+        reservations = self._snapshot_reservations(((a, b), (b, a)))
+        _, end_a = self.start_transfer(now, a, b, num_bytes, index)
+        _, end_b = self.start_transfer(now, b, a, num_bytes, index)
+        done = max(end_a, end_b, now)
+        policy = self.exchange_policy
+        if policy is not None and done - now > policy.timeout:
+            # Contention pushed the exchange past its deadline: both
+            # sides give up when the deadline expires.
+            if counted:
+                self.resilience.timeout_exchanges += 1
+            if on_abort is not None:
+                self.schedule(now + policy.timeout, on_abort)
+            return
+        self._track(a, b, done, reservations, on_success, on_abort, counted)
+
+    def start_tracked_transfer(
+        self,
+        now: float,
+        sender: int,
+        receiver: int,
+        num_bytes: int,
+        index: int,
+        on_success: Callable,
+        on_abort: Optional[Callable] = None,
+        counted: bool = True,
+    ) -> None:
+        """One directed crash-abortable transfer (the server-path leg).
+
+        ``counted=False`` keeps the transfer out of the goodput
+        accounting (download legs and recovery fetches are plumbing, not
+        exchange attempts)."""
+        if not self.faults_active:
+            _, end = self.start_transfer(now, sender, receiver, num_bytes, index)
+            self.schedule(max(end, now), on_success)
+            return
+        reservations = self._snapshot_reservations(((sender, receiver),))
+        _, end = self.start_transfer(now, sender, receiver, num_bytes, index)
+        done = max(end, now)
+        policy = self.exchange_policy
+        if policy is not None and counted and done - now > policy.timeout:
+            self.resilience.timeout_exchanges += 1
+            if on_abort is not None:
+                self.schedule(now + policy.timeout, on_abort)
+            return
+        self._track(sender, receiver, done, reservations, on_success, on_abort, counted)
+
+    def _abort_inflight(self, tid: int, now: float) -> None:
+        a, b, handle, before, after, on_abort, counted = self._inflight.pop(tid)
+        self.queue.cancel(handle)
+        # Free the link ends this transfer reserved — but only where the
+        # link clock still reads this transfer's reservation; a later
+        # reservation stacked on top cannot be unwound.
+        for key, original in before.items():
+            if self._link_free.get(key) == after.get(key):
+                if original is None:
+                    self._link_free.pop(key, None)
+                else:
+                    self._link_free[key] = original
+        if counted and self.resilience is not None:
+            self.resilience.aborted_exchanges += 1
+        if on_abort is not None:
+            on_abort(now)
+
+    def _abort_matching(self, now: float, involves: Callable[[int, int], bool]) -> None:
+        for tid in [
+            tid
+            for tid, (a, b, *_rest) in self._inflight.items()
+            if involves(a, b)
+        ]:
+            self._abort_inflight(tid, now)
+
+    # ------------------------------------------------------------------
+    # fault handlers
+    # ------------------------------------------------------------------
+    def _on_crash(self, worker: int, now: float) -> None:
+        if not self.worker_up[worker]:
+            return
+        self.worker_up[worker] = False
+        self.incarnation[worker] += 1
+        self.resilience.record_crash(worker, now)
+        self._abort_matching(now, lambda a, b: worker in (a, b))
+        if self._algorithm is not None:
+            on_crashed = getattr(self._algorithm, "on_worker_crashed", None)
+            if on_crashed is not None:
+                on_crashed(worker, now)
+
+    def _on_recover(self, worker: int, now: float) -> None:
+        if self.worker_up[worker]:
+            return
+        self.worker_up[worker] = True
+        self.resilience.record_recovery(worker, now)
+        self.recovery.recover(self, self._algorithm, worker, now)
+
+    def _on_link_down(self, a: int, b: int, now: float) -> None:
+        self._down_links.add((min(a, b), max(a, b)))
+        self._abort_matching(now, lambda x, y: {x, y} == {a, b})
+
+    def _on_link_up(self, a: int, b: int, now: float) -> None:
+        self._down_links.discard((min(a, b), max(a, b)))
+
+    def _schedule_faults(self, duration: float) -> None:
+        """Queue the plan's fault events plus, under checkpoint recovery,
+        the periodic snapshot captures.  Only called with faults active,
+        so fault-free runs process exactly the same event sequence as
+        before the fault subsystem existed."""
+        for event in self.fault_plan.events:
+            if event.kind == "crash":
+                action = (
+                    lambda t, w=event.worker: self._on_crash(w, t)
+                )
+            elif event.kind == "recover":
+                action = (
+                    lambda t, w=event.worker: self._on_recover(w, t)
+                )
+            elif event.kind == "link_down":
+                action = (
+                    lambda t, link=event.link: self._on_link_down(*link, t)
+                )
+            else:  # link_up
+                action = (
+                    lambda t, link=event.link: self._on_link_up(*link, t)
+                )
+            # Events past the horizon stay queued but never pop — the run
+            # loop stops at the first event beyond ``duration``.
+            self.queue.push(event.time, action)
+        store = getattr(self.recovery, "store", None)
+        if store is not None:
+            interval = store.interval
+            tick = 1
+            while tick * interval <= duration:
+                self.queue.push(
+                    tick * interval,
+                    lambda t: store.capture(self._algorithm, self.worker_up, t),
+                )
+                tick += 1
+
+    # ------------------------------------------------------------------
     # the event loop
     # ------------------------------------------------------------------
     def run(
@@ -305,9 +600,12 @@ class EventEngine:
                 f"checkpoint_every must be positive, got {checkpoint_every}"
             )
         algorithm.bind(self)
+        self._algorithm = algorithm
         result = EventResult(
             algorithm=algorithm.name, trace=self.trace, horizon=float(duration)
         )
+        if self.faults_active:
+            self._schedule_faults(float(duration))
 
         def snapshot(at: float) -> None:
             val_loss, val_accuracy = evaluate_consensus(algorithm, validation)
@@ -366,6 +664,9 @@ class EventEngine:
         result.staleness = list(getattr(algorithm, "staleness_log", []))
         result.total_local_steps = algorithm.total_local_steps
         result.events_processed = self.events_processed
+        if self.resilience is not None:
+            self.resilience.close(float(duration))
+            result.resilience = self.resilience
         return result
 
 
@@ -385,6 +686,9 @@ def run_event_experiment(
     duration: float = 30.0,
     checkpoint_every: Optional[float] = None,
     contention: bool = True,
+    fault_plan: Optional[FaultPlan] = None,
+    exchange_policy: Optional[ExchangePolicy] = None,
+    recovery: Optional[RecoveryPolicy] = None,
 ) -> EventResult:
     """Run an asynchronous algorithm variant on the event engine.
 
@@ -395,6 +699,12 @@ def run_event_experiment(
     Without a ``compute_model`` a :class:`ConstantCompute` of 0.1 s/step
     is assumed — an event simulation needs *some* notion of compute time
     for its clock to advance.
+
+    ``fault_plan`` injects timed crash/recovery and link events
+    (:mod:`repro.sim.faults`); ``exchange_policy`` and ``recovery``
+    configure the deadline/retry and restart behaviour
+    (:mod:`repro.resilience`).  A ``None`` or empty plan leaves the run
+    bit-identical to a fault-free one.
     """
     if network is None:
         network = SimulatedNetwork(num_workers=len(partitions))
@@ -411,6 +721,9 @@ def run_event_experiment(
         churn=churn,
         loss_model=loss_model,
         contention=contention,
+        fault_plan=fault_plan,
+        exchange_policy=exchange_policy,
+        recovery=recovery,
     )
     if checkpoint_every is None:
         checkpoint_every = duration / 10.0

@@ -91,6 +91,68 @@ class TestAvailabilitySchedule:
             AvailabilitySchedule(3, {0: [(3, 3)]})
 
 
+class TestSparseRoundTable:
+    def test_fill_up_default(self):
+        schedule = AvailabilitySchedule(4, rounds={3: [1, 2]})
+        assert schedule.active_at(0).all()
+        np.testing.assert_array_equal(
+            schedule.active_at(3), [True, False, False, True]
+        )
+        assert schedule.active_at(4).all()  # unmentioned round: everyone up
+
+    def test_fill_down(self):
+        schedule = AvailabilitySchedule(3, rounds={2: [0]}, fill="down")
+        assert not schedule.active_at(0).any()
+        np.testing.assert_array_equal(
+            schedule.active_at(2), [False, True, True]
+        )
+        assert not schedule.active_at(3).any()
+
+    def test_fill_hold_carries_last_entry_forward(self):
+        schedule = AvailabilitySchedule(
+            4, rounds={2: [1], 5: []}, fill="hold"
+        )
+        assert schedule.active_at(0).all()  # before first entry
+        assert schedule.active_at(1).all()
+        for t in (2, 3, 4):  # round 2's down-set held through the gap
+            np.testing.assert_array_equal(
+                schedule.active_at(t), [True, False, True, True]
+            )
+        assert schedule.active_at(5).all()  # cleared at round 5
+        assert schedule.active_at(100).all()
+
+    def test_empty_down_set_round_is_respected(self):
+        schedule = AvailabilitySchedule(3, rounds={1: []}, fill="down")
+        assert not schedule.active_at(0).any()
+        assert schedule.active_at(1).all()
+
+    def test_out_of_range_worker_error_is_friendly(self):
+        with pytest.raises(ValueError, match=r"worker index 7.*round 4.*0\.\.3"):
+            AvailabilitySchedule(4, rounds={4: [0, 7]})
+        with pytest.raises(ValueError, match=r"worker index -1"):
+            AvailabilitySchedule(4, rounds={0: [-1]})
+
+    def test_bad_fill_and_exclusive_styles_rejected(self):
+        with pytest.raises(ValueError, match="fill must be one of"):
+            AvailabilitySchedule(3, rounds={0: [0]}, fill="sideways")
+        with pytest.raises(ValueError, match="exactly one of"):
+            AvailabilitySchedule(3)
+        with pytest.raises(ValueError, match="exactly one of"):
+            AvailabilitySchedule(3, outages={0: [(0, 1)]}, rounds={0: [0]})
+        with pytest.raises(ValueError, match="round index"):
+            AvailabilitySchedule(3, rounds={-2: [0]})
+
+    def test_negative_round_query_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            AvailabilitySchedule(3, rounds={0: [0]}).active_at(-1)
+
+    def test_drives_saps_matching(self):
+        """A sparse table plugs straight into SAPS-PSGD as a churn model."""
+        schedule = AvailabilitySchedule(6, rounds={0: [2, 3]}, fill="hold")
+        mask = schedule.active_at(7)
+        assert mask.sum() == 4 and not mask[2] and not mask[3]
+
+
 class TestSelectorsUnderChurn:
     def test_adaptive_matches_only_active(self):
         bandwidth = random_uniform_bandwidth(8, rng=0)

@@ -76,6 +76,99 @@ class TestEventQueue:
             queue.push(float("nan"), None)
 
 
+class TestEventQueueDeterminism:
+    """Property-style checks of the FIFO-on-ties and cancellation
+    contracts the fault engine leans on."""
+
+    def _reference_order(self, pushes):
+        """Stable sort by time = the contractual pop order."""
+        return [tag for _, tag in sorted(pushes, key=lambda entry: entry[0])]
+
+    def test_interleaved_push_pop_respects_push_order_on_ties(self):
+        rng = np.random.default_rng(1234)
+        for trial in range(20):
+            queue = EventQueue()
+            pushes, popped = [], []
+            sequence = 0
+            for _ in range(200):
+                if queue and rng.random() < 0.4:
+                    popped.append(queue.pop()[1])
+                else:
+                    # Coarse times force many exact ties.
+                    time = float(rng.integers(0, 8))
+                    queue.push(time, (time, sequence))
+                    pushes.append((time, (time, sequence)))
+                    sequence += 1
+            while queue:
+                popped.append(queue.pop()[1])
+            assert len(popped) == len(pushes)
+            # Global order can differ from one big sort (pops happen
+            # mid-stream), but ties must pop in push order: for every
+            # time value, the popped sequence numbers are increasing.
+            by_time = {}
+            for time, seq in popped:
+                by_time.setdefault(time, []).append(seq)
+            for seqs in by_time.values():
+                assert seqs == sorted(seqs)
+
+    def test_drain_after_all_pushes_matches_stable_sort(self):
+        rng = np.random.default_rng(99)
+        queue = EventQueue()
+        pushes = []
+        for sequence in range(300):
+            time = float(rng.integers(0, 10))
+            queue.push(time, sequence)
+            pushes.append((time, sequence))
+        drained = [queue.pop()[1] for _ in range(len(pushes))]
+        assert drained == self._reference_order(pushes)
+
+    def test_cancel_never_reorders_survivors(self):
+        rng = np.random.default_rng(7)
+        for trial in range(20):
+            control, queue = EventQueue(), EventQueue()
+            handles, pushes = [], []
+            for sequence in range(150):
+                time = float(rng.integers(0, 6))
+                control.push(time, sequence)
+                handles.append(queue.push(time, sequence))
+                pushes.append((time, sequence))
+            doomed = set(
+                rng.choice(len(handles), size=40, replace=False).tolist()
+            )
+            for index in doomed:
+                queue.cancel(handles[index])
+            expected = [
+                tag
+                for tag in self._reference_order(pushes)
+                if tag not in doomed
+            ]
+            drained = [queue.pop()[1] for _ in range(len(queue))]
+            assert drained == expected
+            # The control queue (no cancellations) still pops everything.
+            assert len(control) == 150
+
+    def test_cancel_updates_len_and_peek(self):
+        queue = EventQueue()
+        first = queue.push(1.0, "first")
+        queue.push(2.0, "second")
+        queue.cancel(first)
+        assert len(queue) == 1
+        assert queue.peek_time() == 2.0
+        assert queue.pop()[1] == "second"
+        assert not queue
+
+    def test_cancel_is_idempotent_and_safe_after_pop(self):
+        queue = EventQueue()
+        entry = queue.push(1.0, "only")
+        queue.cancel(entry)
+        queue.cancel(entry)  # double-cancel: no-op
+        assert len(queue) == 0 and not queue
+        fresh = queue.push(1.0, "next")
+        assert queue.pop()[1] == "next"
+        queue.cancel(fresh)  # cancel after pop: no-op
+        assert len(queue) == 0
+
+
 class TestContention:
     def test_off_is_max_of_transfers(self):
         timer = CommunicationTimer()

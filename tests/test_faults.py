@@ -79,6 +79,51 @@ class TestBurstLossModel:
         with pytest.raises(ValueError):
             BurstLossModel(4, good_loss=2.0)
 
+    def test_stream_stability_across_links(self):
+        """Per-link substreams: querying other links never shifts a
+        link's outcome sequence."""
+        solo = BurstLossModel(6, good_loss=0.3, bad_loss=0.9, rng=42)
+        noisy = BurstLossModel(6, good_loss=0.3, bad_loss=0.9, rng=42)
+        outcomes_solo, outcomes_noisy = [], []
+        for t in range(200):
+            outcomes_solo.append(solo.exchange_fails(t, 1, 4))
+            # Interleave traffic on unrelated links in the second model.
+            noisy.exchange_fails(t, 0, 2)
+            outcomes_noisy.append(noisy.exchange_fails(t, 1, 4))
+            noisy.exchange_fails(t, 3, 5)
+        assert outcomes_solo == outcomes_noisy
+
+    def test_stream_stability_under_link_order(self):
+        """Symmetric queries (a, b) vs (b, a) hit the same substream."""
+        forward = BurstLossModel(4, good_loss=0.4, rng=7)
+        backward = BurstLossModel(4, good_loss=0.4, rng=7)
+        a_first = [forward.exchange_fails(t, 0, 3) for t in range(100)]
+        b_first = [backward.exchange_fails(t, 3, 0) for t in range(100)]
+        assert a_first == b_first
+
+    def test_repeated_round_queries_allowed(self):
+        """The retry path re-asks the same exchange index; each re-ask
+        draws a fresh loss Bernoulli but never raises."""
+        model = BurstLossModel(4, good_loss=0.5, rng=3)
+        outcomes = [model.exchange_fails(10, 0, 1) for _ in range(50)]
+        assert any(outcomes) and not all(outcomes)
+        # Strictly earlier rounds on the same link still raise.
+        with pytest.raises(ValueError, match="non-decreasing"):
+            model.exchange_fails(9, 0, 1)
+        # ...but an untouched link may start wherever it likes.
+        model.exchange_fails(0, 2, 3)
+
+    def test_self_loops_stay_good(self):
+        model = BurstLossModel(
+            4, good_loss=0.0, bad_loss=1.0, p_good_to_bad=1.0, rng=0
+        )
+        assert not any(model.exchange_fails(t, 2, 2) for t in range(50))
+
+    def test_out_of_range_link_error_is_friendly(self):
+        model = BurstLossModel(4, rng=0)
+        with pytest.raises(ValueError, match=r"worker index 9.*0\.\.3"):
+            model.exchange_fails(0, 0, 9)
+
 
 class TestSAPSUnderLoss:
     def _setup(self, loss_model, seed=61, rounds=60):
