@@ -128,19 +128,52 @@ class DistributedAlgorithm:
             [worker.compute_gradient()[0] for worker in self.workers]
         )
 
+    #: Row-block byte budget of the fused update/mix passes — same
+    #: rationale as :attr:`repro.sim.cluster.ClusterTrainer.BLOCK_BYTES`:
+    #: one block's rows and its scratch stay cache-resident, and the
+    #: partition depends only on this constant (never the thread count),
+    #: so blocked, threaded and whole-matrix execution all agree bitwise.
+    MIX_BLOCK_BYTES = 8 << 20
+
+    def _mix_block_rows(self) -> int:
+        row_bytes = max(
+            self.arena.model_size * self.arena.dtype.itemsize, 1
+        )
+        return max(1, self.MIX_BLOCK_BYTES // row_bytes)
+
     def _apply_average_gradient(self, average: np.ndarray) -> None:
         """``xᵢ ← xᵢ − lrᵢ·ḡ`` on every worker (the all-reduce update).
 
-        Arena path: one broadcasted row operation over the replica
-        matrix; fallback: per-worker flat round-trips.  Bit-identical.
+        Arena path: a fused row-blocked pass — each block scales the
+        average gradient into a persistent scratch and subtracts it in
+        place, so no ``(n, N)`` temporary is materialized and each block
+        of replicas streams through cache exactly once.  Blocks are
+        independent (disjoint rows) and run on the configured thread
+        pool.  Per element the operation sequence (multiply, then
+        subtract) is unchanged, so the result is bit-identical to the
+        historical whole-matrix expression.  Fallback: per-worker flat
+        round-trips.
         """
         if self.arena is not None:
+            from repro.utils import parallel
+
             # Learning rates in the arena dtype: float32 runs update
             # without a float64 upcast temporary (no-op at float64).
             rates = np.array(
                 [w.optimizer.lr for w in self.workers], dtype=self.arena.dtype
             )
-            self.arena.data -= rates[:, None] * average
+            data = self.arena.data
+
+            def update_block(bound) -> None:
+                start, stop = bound
+                # The (block, N) product is the only temporary — bounded
+                # by the block budget instead of the full (n, N) matrix.
+                data[start:stop] -= rates[start:stop, None] * average
+
+            parallel.parallel_map(
+                update_block,
+                parallel.block_ranges(self.num_workers, self._mix_block_rows()),
+            )
             for worker in self.workers:
                 worker.steps_taken += 1
         else:

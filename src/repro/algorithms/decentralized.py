@@ -27,6 +27,12 @@ class DPSGD(DistributedAlgorithm):
 
     name = "D-PSGD"
 
+    #: Selects the fused row-blocked arena mix (:meth:`_mix_arena_fused`).
+    #: ``False`` restores the historical whole-matrix expression, kept as
+    #: the equivalence oracle and the bench baseline — both produce
+    #: bit-identical replicas.
+    fused_mix = True
+
     def _after_setup(self) -> None:
         # Mixing weights live in the workers' dtype so float32 runs mix
         # without upcast temporaries (no-op cast at float64).
@@ -36,6 +42,11 @@ class DPSGD(DistributedAlgorithm):
             else self.workers[0].model.dtype
         )
         self.gossip = ring_gossip_matrix(self.num_workers).astype(dtype, copy=False)
+        # Persistent (n, N) pair for the fused mix: the mixed-model
+        # accumulator and the neighbour-gather scratch.  Allocated on
+        # first use, reused every round.
+        self._mix_buf: np.ndarray | None = None
+        self._mix_tmp: np.ndarray | None = None
 
     def _ring_neighbors(self, rank: int) -> List[int]:
         n = self.num_workers
@@ -46,27 +57,101 @@ class DPSGD(DistributedAlgorithm):
             return 0.0
         return float(self.network.bandwidth[a, b])
 
+    def _ring_mix_terms(self):
+        """Neighbour index vectors and per-row mixing weights (columns)."""
+        n = self.num_workers
+        ranks = np.arange(n)
+        prev_ranks = (ranks - 1) % n
+        next_ranks = (ranks + 1) % n
+        self_w = np.diag(self.gossip)[:, None]
+        prev_w = self.gossip[ranks, prev_ranks][:, None]
+        next_w = self.gossip[ranks, next_ranks][:, None]
+        rates = np.array([w.optimizer.lr for w in self.workers])
+        return prev_ranks, next_ranks, self_w, prev_w, next_w, rates
+
+    def _mix_arena_unfused(self) -> None:
+        """The historical whole-matrix ring mix (oracle / bench baseline).
+
+        The accumulation order (self, left neighbour, right neighbour)
+        matches the per-worker loop, so results are bit-identical to the
+        fallback path — and :meth:`_mix_arena_fused` matches this method
+        bit-for-bit in turn.
+        """
+        replicas = self.arena.data
+        prev_ranks, next_ranks, self_w, prev_w, next_w, rates = (
+            self._ring_mix_terms()
+        )
+        mixed = self_w * replicas
+        mixed = mixed + prev_w * replicas[prev_ranks]
+        mixed = mixed + next_w * replicas[next_ranks]
+        replicas[...] = mixed - rates[:, None] * self.arena.grads
+
+    def _mix_arena_fused(self) -> None:
+        """Fused row-blocked ring mix: one cache-hot pass per block.
+
+        Each block accumulates its mixed rows into a persistent ``(n, N)``
+        buffer with in-place ufuncs — the only transient left is the
+        float64 learning-rate product when the arena is float32 (the
+        unfused expression upcasts there, and matching it bit-for-bit
+        requires the same promotion).  Blocks write disjoint buffer rows
+        while only *reading* the replica matrix, so they run on the
+        configured thread pool; the write-back happens after the barrier,
+        once no block still needs a neighbour's old row.  Per element the
+        kernel sequence and operand order equal the whole-matrix
+        expression, so the result is bit-identical at every dtype and
+        thread count.
+        """
+        from repro.utils import parallel
+
+        replicas = self.arena.data
+        grads = self.arena.grads
+        prev_ranks, next_ranks, self_w, prev_w, next_w, rates = (
+            self._ring_mix_terms()
+        )
+        if self._mix_buf is None or self._mix_buf.shape != replicas.shape:
+            self._mix_buf = np.empty_like(replicas)
+            self._mix_tmp = np.empty_like(replicas)
+        buf = self._mix_buf
+        tmp = self._mix_tmp
+        same_dtype = rates.dtype == replicas.dtype
+
+        def mix_block(bound) -> None:
+            start, stop = bound
+            b = buf[start:stop]
+            t = tmp[start:stop]
+            np.multiply(self_w[start:stop], replicas[start:stop], out=b)
+            np.take(replicas, prev_ranks[start:stop], axis=0, out=t)
+            np.multiply(prev_w[start:stop], t, out=t)
+            np.add(b, t, out=b)
+            np.take(replicas, next_ranks[start:stop], axis=0, out=t)
+            np.multiply(next_w[start:stop], t, out=t)
+            np.add(b, t, out=b)
+            if same_dtype:
+                np.multiply(rates[start:stop, None], grads[start:stop], out=t)
+                np.subtract(b, t, out=b)
+            else:
+                # float32 arena: the unfused expression promotes through
+                # the float64 rates and rounds once on assignment —
+                # replicate that exactly (the float64 transient is one
+                # block, not the full matrix).
+                b[...] = b - rates[start:stop, None] * grads[start:stop]
+
+        parallel.parallel_map(
+            mix_block,
+            parallel.block_ranges(self.num_workers, self._mix_block_rows()),
+        )
+        # Barrier passed: every block has read the neighbour rows it
+        # needs, so the replica matrix can take the new models.
+        replicas[...] = buf
+
     def run_round(self, round_index: int) -> float:
         if self.arena is not None:
             losses = self._local_gradients_into_arena()
             self._account_ring_traffic(round_index)
-
-            # Vectorized ring mixing over the replica matrix.  The
-            # accumulation order (self, left neighbour, right neighbour)
-            # matches the per-worker loop, so results are bit-identical.
-            replicas = self.arena.data
-            n = self.num_workers
-            ranks = np.arange(n)
-            prev_ranks = (ranks - 1) % n
-            next_ranks = (ranks + 1) % n
-            self_w = np.diag(self.gossip)[:, None]
-            prev_w = self.gossip[ranks, prev_ranks][:, None]
-            next_w = self.gossip[ranks, next_ranks][:, None]
-            mixed = self_w * replicas
-            mixed = mixed + prev_w * replicas[prev_ranks]
-            mixed = mixed + next_w * replicas[next_ranks]
-            rates = np.array([w.optimizer.lr for w in self.workers])
-            replicas[...] = mixed - rates[:, None] * self.arena.grads
+            if self.fused_mix:
+                self._mix_arena_fused()
+            else:
+                self._mix_arena_unfused()
             for worker in self.workers:
                 worker.steps_taken += 1
         else:

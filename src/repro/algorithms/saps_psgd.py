@@ -36,6 +36,12 @@ class SAPSPSGD(DistributedAlgorithm):
 
     name = "SAPS-PSGD"
 
+    #: Selects the fused local-step/compression pass (the gather of the
+    #: round's masked columns rides the last update's arena pass).
+    #: ``False`` restores update-then-regather — the equivalence oracle
+    #: and bench baseline; both produce bit-identical payloads.
+    fused_gather = True
+
     def __init__(
         self,
         compression_ratio: float = 100.0,
@@ -157,7 +163,27 @@ class SAPSPSGD(DistributedAlgorithm):
         if active_ranks.size == 0:
             self.network.finish_round()
             return float("nan")
-        if self.cluster_trainer is not None:
+        # Fused round: with every worker online the shared mask's kept
+        # indices are already determined by the round seed, so the
+        # compression gather can ride the final local-step update pass
+        # (each block's masked columns are read while that block is
+        # cache-hot).  Mask generation uses its own seeded generator, so
+        # hoisting it before the local phase perturbs no RNG stream.
+        fuse = (
+            self.fused_gather
+            and self.cluster_trainer is not None
+            and bool(active.all())
+        )
+        gathered = mask_indices = None
+        if fuse:
+            mask = generate_mask(
+                self.model_size, self.compression_ratio, plan.mask_seed
+            )
+            mask_indices = np.flatnonzero(mask)
+            losses, gathered = self.cluster_trainer.batched_steps_gather(
+                self.local_steps, mask_indices
+            )
+        elif self.cluster_trainer is not None:
             # Batched: each of the k local steps is one matrix-level
             # forward/backward/update for all online workers at once —
             # same per-worker RNG streams and (worker-major) loss order
@@ -194,9 +220,16 @@ class SAPSPSGD(DistributedAlgorithm):
             # fancy-indexed read; the merge averages the matched blocks
             # and scatters back.  Bit-identical to the per-pair path.
             if pairs:
-                batch = self.compressor.compress_matrix_with_seed(
-                    self.arena.data, plan.mask_seed
-                )
+                if gathered is not None:
+                    # Fused path: values were gathered during the update
+                    # pass — bit-identical to re-reading the arena here.
+                    batch = self.compressor.batch_from_values(
+                        gathered, mask_indices, plan.mask_seed
+                    )
+                else:
+                    batch = self.compressor.compress_matrix_with_seed(
+                        self.arena.data, plan.mask_seed
+                    )
                 indices, values = batch.indices, batch.values
                 pair_array = np.asarray(pairs, dtype=np.int64)
                 left, right = pair_array[:, 0], pair_array[:, 1]

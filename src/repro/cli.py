@@ -471,6 +471,16 @@ def build_parser() -> argparse.ArgumentParser:
             "traffic, matching the measured systems' fp32 tensors)",
         )
         p.add_argument(
+            "--num-threads",
+            type=int,
+            default=None,
+            help="worker threads for the block-parallel hot paths "
+            "(cluster blocks, fused mixing, batched top-k, consensus "
+            "eval); default: the REPRO_NUM_THREADS environment variable, "
+            "else 1.  Never changes numerics — any thread count produces "
+            "bit-identical results",
+        )
+        p.add_argument(
             "--local-steps",
             type=int,
             default=1,
@@ -599,6 +609,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "num_threads", None) is not None:
+        # Global: every block-parallel hot path reads the same knob.
+        from repro.utils import parallel
+
+        parallel.set_num_threads(args.num_threads)
     return args.func(args)
 
 

@@ -86,6 +86,33 @@ class RandomMaskCompressor(Compressor):
     ) -> BatchPayload:
         return self.compress_matrix_with_seed(matrix, self._seed)
 
+    def batch_from_values(
+        self, values: np.ndarray, indices: np.ndarray, seed: int
+    ) -> BatchPayload:
+        """Assemble the round's :class:`BatchPayload` from pre-gathered
+        components.
+
+        The fused round engine reads each replica block's masked columns
+        immediately after that block's local update, while the rows are
+        still cache-hot; this wraps the resulting ``(n, k)`` value matrix
+        in exactly the payload structure
+        :meth:`compress_matrix_with_seed` builds, skipping its second
+        full pass over the replica matrix.  Caller contract:
+        ``values[i] == matrix[i, indices]`` where ``indices`` are the
+        kept positions of ``seed``'s mask.
+        """
+        values = check_matrix(values)
+        return BatchPayload(
+            payloads=[
+                SharedMaskPayload(
+                    values=values[row], indices=indices, mask_seed=int(seed)
+                )
+                for row in range(values.shape[0])
+            ],
+            values=values,
+            indices=indices,
+        )
+
     def compress_matrix_with_seed(
         self, matrix: np.ndarray, seed: int
     ) -> BatchPayload:

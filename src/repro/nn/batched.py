@@ -342,6 +342,14 @@ class BatchedConv2d(_WindowKernel):
     :class:`~repro.nn.layers.Conv2d` uses on the same operands — the
     batched convolution is therefore bit-identical to the loop, and
     backward writes weight/bias gradients straight into ``arena.grads``.
+
+    The stacked column tensor (``(n·B, C·kh·kw, L)``, cached through
+    backward) is the dominant transient of the conv path; the
+    :class:`~repro.sim.cluster.ClusterTrainer` folds its footprint into
+    the cluster-block byte budget
+    (``_workspace_bytes_per_worker``/``_block_rows``), so blocks shrink
+    until one block's weights *and* its im2col workspace fit the budget
+    together — the full-cluster tensor is never materialized at once.
     """
 
     def __init__(

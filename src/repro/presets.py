@@ -147,6 +147,7 @@ def instantiate_preset(
     fault_plan: Optional[str] = None,
     exchange_timeout: float = 5.0,
     recovery: str = "checkpoint",
+    num_threads: Optional[int] = None,
 ) -> Tuple[List[Dataset], Dataset, Callable[[], Module], ExperimentConfig]:
     """Build (partitions, validation, model_factory, config) for a preset.
 
@@ -168,7 +169,15 @@ def instantiate_preset(
     ``engine`` selects the execution engine recorded in
     ``ExperimentConfig.engine`` (``"sync"`` round barriers, ``"event"``
     the discrete-event timeline — see :mod:`repro.sim.events`).
+    ``num_threads`` (optional) installs the block-parallel thread count
+    (:func:`repro.utils.parallel.set_num_threads`) before the workload
+    builds — a convenience so preset callers configure the whole run in
+    one call; threads never change numerics.
     """
+    if num_threads is not None:
+        from repro.utils import parallel
+
+        parallel.set_num_threads(num_threads)
     if name not in PRESETS:
         raise KeyError(f"unknown preset {name!r}; available: {available_presets()}")
     preset = PRESETS[name]

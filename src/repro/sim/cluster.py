@@ -39,6 +39,7 @@ presets ride the batched path alongside the MLP family.
 
 from __future__ import annotations
 
+import threading
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -46,10 +47,59 @@ import numpy as np
 from repro.data.datasets import Dataset
 from repro.data.loader import DataLoader
 from repro.nn.arena import ParameterArena, shared_arena
-from repro.nn.batched import BatchedCrossEntropyLoss, build_batched_model
+from repro.nn.batched import (
+    BatchedAvgPool2d,
+    BatchedConv2d,
+    BatchedCrossEntropyLoss,
+    BatchedFlatten,
+    BatchedGlobalAvgPool2d,
+    BatchedMaxPool2d,
+    build_batched_model,
+)
 from repro.nn.losses import CrossEntropyLoss
 from repro.nn.optim import SGD
 from repro.sim.trainer import TrainingWorker, evaluate_forward
+from repro.utils import parallel
+
+
+class _ExecContext:
+    """One thread's private execution state for block passes.
+
+    The batched kernels cache forward state on themselves (inputs, cols,
+    masks) and the trainer reuses sampling/update buffers — state that
+    must not be shared between concurrently executing blocks.  Each
+    worker thread therefore gets its own kernel chain (views into the
+    *same* arena — building one is cheap, reshaped slices only), loss
+    head and buffers; rows written through different contexts are
+    disjoint, so the arena itself needs no locking.
+    """
+
+    __slots__ = ("net", "loss_fn", "feature_buf", "label_buf", "scratch")
+
+    def __init__(self, net, loss_fn) -> None:
+        self.net = net
+        self.loss_fn = loss_fn
+        self.feature_buf: Optional[np.ndarray] = None
+        self.label_buf: Optional[np.ndarray] = None
+        self.scratch: Optional[np.ndarray] = None
+
+    def batch_buffers(self, count: int, feature_shape, feature_dtype,
+                      label_dtype):
+        """Persistent ``(count, B, ...)`` batch buffers, grown on demand."""
+        if self.feature_buf is None or self.feature_buf.shape[0] < count:
+            self.feature_buf = np.empty(
+                (count,) + feature_shape, dtype=feature_dtype
+            )
+            self.label_buf = np.empty(
+                (count, feature_shape[0]), dtype=label_dtype
+            )
+        return self.feature_buf[:count], self.label_buf[:count]
+
+    def scratch_rows(self, count: int, model_size: int, dtype) -> np.ndarray:
+        """Persistent ``(count, N)`` update scratch (grown on demand)."""
+        if self.scratch is None or self.scratch.shape[0] < count:
+            self.scratch = np.empty((count, model_size), dtype=dtype)
+        return self.scratch[:count]
 
 
 class ClusterTrainer:
@@ -91,15 +141,17 @@ class ClusterTrainer:
         self.momentum = optimizer.momentum
         self.weight_decay = optimizer.weight_decay
         self.nesterov = optimizer.nesterov
-        #: ``(n, N)`` momentum state, allocated on first momentum update.
+        #: ``(n, N)`` momentum state, allocated on first momentum update
+        #: (hoisted before any parallel block dispatch — see
+        #: :meth:`_run_pass` — so block threads never race the alloc).
         self._velocity: Optional[np.ndarray] = None
-        #: Update scratch reused across steps (avoids a fresh
-        #: replica-matrix-sized temporary per step).
-        self._scratch: Optional[np.ndarray] = None
-        #: Persistent ``(n, B, d)`` / ``(n, B)`` batch buffers filled by
-        #: stacked sampling (no per-step stack of n small arrays).
-        self._feature_buf: Optional[np.ndarray] = None
-        self._label_buf: Optional[np.ndarray] = None
+        #: Per-thread execution contexts (kernel chain + sampling/update
+        #: buffers).  The building thread owns the primary context; pool
+        #: threads get their own lazily (:meth:`_context`).  Keyed by
+        #: thread ident — pool threads persist across calls, so contexts
+        #: amortize over the run.
+        self._contexts = {threading.get_ident(): _ExecContext(net, self.loss_fn)}
+        self._context_lock = threading.Lock()
         #: Hoisted per-worker sampler bindings
         #: ``(rng.choice, features, labels, len, batch_size)`` — the
         #: sampling loop runs n times per step, so attribute chains are
@@ -121,6 +173,11 @@ class ClusterTrainer:
         # of treating the segments as never-touched.
         for worker in self.workers:
             worker.model.zero_grad()
+        #: Per-worker transient-workspace bytes (the conv/pool kernels'
+        #: stacked im2col patch matrices) — folded into the block-size
+        #: computation so one block's weights *and* its im2col workspace
+        #: fit the cache budget together (:meth:`_block_rows`).
+        self._workspace_bytes = self._workspace_bytes_per_worker()
 
     # ------------------------------------------------------------------
     # construction
@@ -218,36 +275,65 @@ class ClusterTrainer:
             return None
         return rows
 
-    def _stacked_batch(self, rank_list: Sequence[int]):
+    def _context(self) -> _ExecContext:
+        """The calling thread's execution context (created on demand).
+
+        The inline (single-thread) path always lands on the primary
+        context created at construction; pool threads build their own
+        kernel chain over the same arena once and keep it."""
+        ident = threading.get_ident()
+        ctx = self._contexts.get(ident)
+        if ctx is None:
+            net = build_batched_model(self.arena)
+            assert net is not None, "batched model compiled at build time"
+            ctx = _ExecContext(net, BatchedCrossEntropyLoss())
+            with self._context_lock:
+                self._contexts[ident] = ctx
+        return ctx
+
+    def _draw_vectorized_indices(self, rank_list: Sequence[int]) -> np.ndarray:
+        """Vectorized-sampler batch indices for ``rank_list``: one draw
+        from the single cluster generator — (count, B) uniform variates
+        scaled by each worker's shard length (sampling WITH replacement;
+        stream-breaking by design, see the class docstring).  The shared
+        generator is order-sensitive, so :meth:`_run_pass` calls this on
+        the dispatching thread, block by block in block order, *before*
+        any parallel execution — the stream is identical at every thread
+        count."""
+        draws = self._sampler_rng.random((len(rank_list), self._batch_size))
+        lengths = self._shard_lengths[np.asarray(rank_list)]
+        return (draws * lengths[:, None]).astype(np.intp)
+
+    def _stacked_batch(
+        self,
+        rank_list: Sequence[int],
+        ctx: _ExecContext,
+        batch_indices: Optional[np.ndarray] = None,
+    ):
         """One mini-batch per worker, stacked along a new worker axis.
 
         Each worker's indices come from its *own* loader RNG via the
         same ``choice`` call :meth:`DataLoader.sample` makes (stream
-        identity, churn included); the features/labels are gathered
-        straight into persistent ``(n, B, d)`` buffers instead of
-        stacking n freshly allocated batch arrays."""
+        identity, churn included) — or from pre-drawn ``batch_indices``
+        on the vectorized-sampler path; the features/labels are gathered
+        straight into the context's persistent ``(n, B, d)`` buffers
+        instead of stacking n freshly allocated batch arrays.  A worker
+        belongs to exactly one block per pass, so its generator is never
+        driven from two threads at once and each stream advances exactly
+        as in the serial loop."""
         count = len(rank_list)
-        if self._feature_buf is None:
-            loader = self.workers[0].loader
-            dataset = loader.dataset
-            self._feature_buf = np.empty(
-                (self.num_workers, loader.batch_size) + dataset.features.shape[1:],
-                dtype=dataset.features.dtype,
-            )
-            self._label_buf = np.empty(
-                (self.num_workers, loader.batch_size), dtype=dataset.labels.dtype
-            )
-        features = self._feature_buf[:count]
-        labels = self._label_buf[:count]
-        if self._sampler_rng is not None:
-            # Vectorized sampler: one generator, one draw for the whole
-            # cluster — (count, B) uniform variates scaled by each
-            # worker's shard length (sampling WITH replacement;
-            # stream-breaking by design, see the class docstring).
-            draws = self._sampler_rng.random((count, self._batch_size))
-            lengths = self._shard_lengths[np.asarray(rank_list)]
-            batch_indices = (draws * lengths[:, None]).astype(np.intp)
-            samplers = self._samplers
+        loader = self.workers[0].loader
+        dataset = loader.dataset
+        features, labels = ctx.batch_buffers(
+            count,
+            (loader.batch_size,) + dataset.features.shape[1:],
+            dataset.features.dtype,
+            dataset.labels.dtype,
+        )
+        samplers = self._samplers
+        if batch_indices is None and self._sampler_rng is not None:
+            batch_indices = self._draw_vectorized_indices(rank_list)
+        if batch_indices is not None:
             for position, rank in enumerate(rank_list):
                 _, shard_features, shard_labels, _, _ = samplers[rank]
                 shard_features.take(
@@ -257,7 +343,6 @@ class ClusterTrainer:
                     batch_indices[position], axis=0, out=labels[position]
                 )
             return features, labels
-        samplers = self._samplers
         for position, rank in enumerate(rank_list):
             choice, shard_features, shard_labels, length, batch = samplers[rank]
             indices = choice(length, size=batch, replace=False)
@@ -265,7 +350,8 @@ class ClusterTrainer:
             shard_labels.take(indices, axis=0, out=labels[position])
         return features, labels
 
-    #: Target resident size of one execution block (rows × model bytes):
+    #: Target resident size of one execution block (rows × model bytes,
+    #: plus the per-row transient workspace of the conv/pool kernels):
     #: big enough to amortize kernel dispatch, small enough that a
     #: block's weights/grads/activations stay cache-resident (read once
     #: for forward + backward + update) instead of streaming the full
@@ -273,50 +359,157 @@ class ClusterTrainer:
     #: the empirical sweet spot at n = 1024 on the bench MLP.
     BLOCK_BYTES = 16 << 20
 
-    def _block_rows(self) -> int:
-        row_bytes = max(self.arena.model_size * self.arena.dtype.itemsize, 1)
-        return max(1, self.BLOCK_BYTES // row_bytes)
+    def _workspace_bytes_per_worker(self) -> int:
+        """Per-worker bytes of the batched kernels' dominant transient
+        buffers: the stacked im2col patch matrices the conv and pooling
+        kernels materialize (and, for conv, cache through backward).
 
-    def _forward_backward(self, row_sel, rank_list: Sequence[int]) -> np.ndarray:
+        Folding this into :meth:`_block_rows` is what keeps the conv
+        path from materializing the full ``(n·B, C·kh·kw, L)`` column
+        tensor at large n: the block size shrinks until one block's
+        weights *and* its im2col workspace fit the byte budget together.
+        Zero for the MLP family (no window kernels), so flat workloads
+        keep their historical partition.
+        """
+        sample_shape = self.workers[0].loader.dataset.features.shape[1:]
+        if len(sample_shape) != 3:
+            return 0
+        itemsize = self.workers[0].loader.dataset.features.dtype.itemsize
+        batch = self._batch_size
+        channels, height, width = sample_shape
+        total = 0
+        for kernel in self.net.kernels:
+            if isinstance(kernel, BatchedConv2d):
+                out_h, out_w = kernel._output_hw(height, width)
+                kh, kw = kernel.kernel_size
+                patch = batch * out_h * out_w * channels * kh * kw * itemsize
+                # The forward cols are cached for backward, which builds
+                # an equally sized grad_cols matrix: both are live at
+                # once during the backward pass.
+                total += 2 * patch
+                channels, height, width = kernel.out_channels, out_h, out_w
+            elif isinstance(kernel, (BatchedMaxPool2d, BatchedAvgPool2d)):
+                out_h, out_w = kernel._output_hw(height, width)
+                kh, kw = kernel.kernel_size
+                total += batch * channels * out_h * out_w * kh * kw * itemsize
+                height, width = out_h, out_w
+            elif isinstance(kernel, BatchedGlobalAvgPool2d):
+                height = width = 1
+            elif isinstance(kernel, BatchedFlatten):
+                break
+        return total
+
+    def _block_rows(self) -> int:
+        per_worker = max(
+            self.arena.model_size * self.arena.dtype.itemsize
+            + self._workspace_bytes,
+            1,
+        )
+        return max(1, self.BLOCK_BYTES // per_worker)
+
+    def _forward_backward(
+        self,
+        row_sel,
+        rank_list: Sequence[int],
+        ctx: _ExecContext,
+        batch_indices: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         """Sample + forward + backward for one row selection; gradients
         land in ``arena.grads`` (overwritten — no zero fill needed, each
         parameter is written exactly once per pass)."""
-        features, labels = self._stacked_batch(rank_list)
-        logits = self.net.forward(features, row_sel)
-        losses, grad = self.loss_fn(logits, labels)
-        self.net.backward(grad, row_sel)
+        features, labels = self._stacked_batch(rank_list, ctx, batch_indices)
+        logits = ctx.net.forward(features, row_sel)
+        losses, grad = ctx.loss_fn(logits, labels)
+        ctx.net.backward(grad, row_sel)
         return losses
 
-    def _run_pass(self, ranks, apply_update: bool) -> np.ndarray:
+    def _run_pass(
+        self,
+        ranks,
+        apply_update: bool,
+        gather_indices: Optional[np.ndarray] = None,
+        gather_out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         """One sampled forward/backward pass for all (or ``ranks``)
         workers, optionally followed by the optimizer update.
 
-        The full-cluster path executes in worker blocks
-        (:attr:`BLOCK_BYTES`) purely for cache locality — workers are
-        independent, so blocking changes no values.  Returns the
+        Both paths execute in worker blocks (:attr:`BLOCK_BYTES`) for
+        cache locality, and the blocks run concurrently on the
+        configured thread pool (:mod:`repro.utils.parallel`) — workers
+        are independent and the partition is fixed by the byte budget,
+        never by the thread count, so neither blocking nor threading
+        changes any value.  ``gather_indices``/``gather_out`` implement
+        the fused update+gather pass (full-cluster path only): each
+        block's masked columns are read right after its update, while
+        the block is cache-hot, into ``gather_out`` — bit-identical to
+        gathering from the full matrix afterwards.  Returns the
         per-worker losses and records each worker's ``last_loss`` (and
         ``steps_taken`` when updating), mirroring the per-worker loop.
         """
         rows = self._normalize_ranks(ranks)
+        # Hoisted allocations and shared-generator draws: block threads
+        # must never race the (n, N) velocity alloc or consume the
+        # vectorized sampler's single stream out of block order.
+        if apply_update and self.momentum and self._velocity is None:
+            self._velocity = np.zeros_like(self.arena.data)
+        block = self._block_rows()
         if rows is None:
             total = self.num_workers
-            losses = np.empty(total, dtype=np.float64)
-            block = self._block_rows()
-            for start in range(0, total, block):
-                stop = min(start + block, total)
-                selection = slice(start, stop)
-                losses[selection] = self._forward_backward(
-                    selection, range(start, stop)
-                )
-                if apply_update:
-                    self._apply_update(selection)
-            step_workers = self.workers
+            rank_of = None
         else:
-            rank_list = rows.tolist()
-            losses = self._forward_backward(rows, rank_list)
+            total = rows.size
+            rank_of = rows.tolist()
+        if gather_indices is not None and (rows is not None or not apply_update):
+            raise ValueError(
+                "fused gather requires a full-cluster update pass"
+            )
+        bounds = parallel.block_ranges(total, block)
+        presampled = None
+        if self._sampler_rng is not None:
+            presampled = np.empty((total, self._batch_size), dtype=np.intp)
+            for start, stop in bounds:
+                block_ranks = (
+                    range(start, stop) if rank_of is None
+                    else rank_of[start:stop]
+                )
+                presampled[start:stop] = self._draw_vectorized_indices(
+                    block_ranks
+                )
+        losses = np.empty(total, dtype=np.float64)
+
+        def run_block(bound) -> None:
+            start, stop = bound
+            ctx = self._context()
+            if rank_of is None:
+                selection = slice(start, stop)
+                block_ranks = range(start, stop)
+            else:
+                selection = rows[start:stop]
+                block_ranks = rank_of[start:stop]
+            indices = (
+                presampled[start:stop] if presampled is not None else None
+            )
+            losses[start:stop] = self._forward_backward(
+                selection, block_ranks, ctx, indices
+            )
             if apply_update:
-                self._apply_update(rows)
-            step_workers = [self.workers[rank] for rank in rank_list]
+                self._apply_update(selection, ctx)
+                if gather_indices is not None:
+                    # Fused gather: the block's rows were just updated
+                    # and are cache-hot; read their masked columns now
+                    # instead of re-streaming the whole matrix later.
+                    np.take(
+                        self.arena.data[selection],
+                        gather_indices,
+                        axis=1,
+                        out=gather_out[selection],
+                    )
+
+        parallel.parallel_map(run_block, bounds)
+        step_workers = (
+            self.workers if rank_of is None
+            else [self.workers[rank] for rank in rank_of]
+        )
         # tolist() hands back exact python floats in one C pass (same
         # values worker.local_step would have returned).
         for worker, loss in zip(step_workers, losses.tolist()):
@@ -350,6 +543,38 @@ class ClusterTrainer:
             losses[:, step_index] = self.step(rows)
         return losses
 
+    def batched_steps_gather(
+        self, k: int, gather_indices: np.ndarray
+    ) -> tuple:
+        """:meth:`batched_steps` fused with a post-update column gather.
+
+        Runs ``k`` full-cluster local steps; on the *last* step each
+        block's ``gather_indices`` columns are read immediately after
+        that block's optimizer update, while the block is cache-hot —
+        one pass over the arena instead of update-then-regather.  This
+        is the SAPS fused round: the shared mask's surviving indices are
+        known from the round seed before the local phase runs, so the
+        compression gather rides the update pass.  Returns
+        ``(losses, values)`` where ``losses`` matches
+        :meth:`batched_steps` exactly and ``values`` is the
+        ``(n, len(gather_indices))`` matrix bit-identical to
+        ``arena.data[:, gather_indices]`` taken afterwards.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        gather_indices = np.asarray(gather_indices, dtype=np.intp)
+        losses = np.empty((self.num_workers, k), dtype=np.float64)
+        values = np.empty(
+            (self.num_workers, gather_indices.size), dtype=self.arena.dtype
+        )
+        for step_index in range(k - 1):
+            losses[:, step_index] = self.step()
+        losses[:, k - 1] = self._run_pass(
+            None, apply_update=True,
+            gather_indices=gather_indices, gather_out=values,
+        )
+        return losses, values
+
     def compute_gradients(self, ranks=None) -> np.ndarray:
         """Batched :meth:`TrainingWorker.compute_gradient`: sample one
         mini-batch per worker and leave the gradients in ``arena.grads``
@@ -360,22 +585,17 @@ class ClusterTrainer:
     # ------------------------------------------------------------------
     # the matrix optimizer update
     # ------------------------------------------------------------------
-    def _scratch_rows(self, count: int) -> np.ndarray:
-        """Persistent ``(count, N)`` update scratch (grown on demand)."""
-        if self._scratch is None or self._scratch.shape[0] < count:
-            self._scratch = np.empty(
-                (count, self.arena.model_size), dtype=self.arena.dtype
-            )
-        return self._scratch[:count]
-
-    def _apply_update(self, rows) -> None:
+    def _apply_update(self, rows, ctx: _ExecContext) -> None:
         """SGD/momentum/weight-decay over whole arena rows.
 
         ``rows`` is ``None``, a slice (in-place on arena views) or an
         index array (gather/scatter).  Replays the per-parameter loop's
         evaluation order elementwise (decay into the gradient, velocity
         update, scaled subtraction), so the result is bit-identical to n
-        independent optimizer steps.
+        independent optimizer steps.  The scratch buffer is the calling
+        context's own (blocks running concurrently must not share it);
+        the ``(n, N)`` velocity matrix *is* shared, but blocks touch
+        disjoint rows.
         """
         arena = self.arena
         is_view = rows is None or isinstance(rows, slice)
@@ -391,7 +611,9 @@ class ClusterTrainer:
             params = arena.data[rows]
             grads = arena.grads[rows]
             step_workers = [self.workers[rank] for rank in rows]
-        scratch = self._scratch_rows(params.shape[0])
+        scratch = ctx.scratch_rows(
+            params.shape[0], arena.model_size, arena.dtype
+        )
         rates = np.array(
             [worker.optimizer.lr for worker in step_workers], dtype=arena.dtype
         )[:, None]
@@ -433,11 +655,22 @@ class ClusterTrainer:
         the same shared evaluation loop as
         :meth:`TrainingWorker.evaluate` (:func:`evaluate_forward`), cast
         once against the vector dtype.
+
+        With threads configured, validation batches run concurrently:
+        each pool thread forwards through its own kernel chain (the same
+        per-thread contexts the block passes use), and the loss fold
+        stays on the caller in batch order — bit-identical to serial.
         """
         vector = np.asarray(vector)
+
+        def thread_forward():
+            net = self._context().net
+            return lambda features: net.forward_vector(vector, features)
+
         return evaluate_forward(
             lambda features: self.net.forward_vector(vector, features),
             dataset,
             vector.dtype,
             batch_size,
+            thread_forward=thread_forward,
         )

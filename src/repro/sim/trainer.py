@@ -16,6 +16,7 @@ Conv/pool/Flatten/Dropout chains) the batched step must reproduce
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Optional, Tuple
 
 import numpy as np
@@ -25,6 +26,7 @@ from repro.data.loader import DataLoader
 from repro.nn.losses import CrossEntropyLoss, accuracy
 from repro.nn.module import Module
 from repro.nn.optim import SGD
+from repro.utils import parallel
 from repro.utils.rng import SeedLike, as_generator
 
 
@@ -33,6 +35,7 @@ def evaluate_forward(
     dataset: Dataset,
     dtype,
     batch_size: int = 256,
+    thread_forward: Optional[Callable[[], Callable[[np.ndarray], np.ndarray]]] = None,
 ) -> Tuple[float, float]:
     """``(mean_loss, top1_accuracy)`` of a logits function over a dataset.
 
@@ -44,21 +47,60 @@ def evaluate_forward(
     ``dtype`` up front (a float64 validation set fed to a float32 model
     used to upcast every forward pass to a throwaway float64
     computation, batch by batch; no-op when the dtypes agree).
+
+    ``thread_forward`` (optional) is a zero-argument factory returning a
+    forward bound to the *calling thread's* private execution state.
+    Model forwards cache activations on themselves, so a shared
+    ``forward`` must never run batches concurrently — but a caller that
+    can mint per-thread forwards (the :class:`ClusterTrainer`'s
+    per-thread kernel chains) opts evaluation into the configured thread
+    pool.  Batches are independent forwards; the float loss fold happens
+    on the caller's thread in batch order, so the result is
+    bit-identical to the serial loop at any thread count.
     """
     if dataset.features.dtype != dtype:
         dataset = dataset.astype(dtype)
-    loss_fn = CrossEntropyLoss()
+    bounds = parallel.block_ranges(len(dataset), batch_size)
+
+    def eval_batch(bound, batch_forward, loss_fn):
+        start, stop = bound
+        features = dataset.features[start:stop]
+        labels = dataset.labels[start:stop]
+        logits = batch_forward(features)
+        loss, _ = loss_fn(logits, labels)
+        return (
+            loss * len(labels),
+            int(np.sum(np.argmax(logits, axis=1) == labels)),
+            len(labels),
+        )
+
+    if (
+        thread_forward is not None
+        and parallel.num_threads() > 1
+        and len(bounds) > 1
+    ):
+        local = threading.local()
+
+        def run(bound):
+            if not hasattr(local, "forward"):
+                local.forward = thread_forward()
+                local.loss_fn = CrossEntropyLoss()
+            return eval_batch(bound, local.forward, local.loss_fn)
+
+        parts = parallel.parallel_map(run, bounds)
+    else:
+        loss_fn = CrossEntropyLoss()
+        parts = [eval_batch(bound, forward, loss_fn) for bound in bounds]
+
     loss_sum = 0.0
     correct = 0
     total = 0
-    for start in range(0, len(dataset), batch_size):
-        features = dataset.features[start : start + batch_size]
-        labels = dataset.labels[start : start + batch_size]
-        logits = forward(features)
-        loss, _ = loss_fn(logits, labels)
-        loss_sum += loss * len(labels)
-        correct += int(np.sum(np.argmax(logits, axis=1) == labels))
-        total += len(labels)
+    # Batch-order fold: the same float additions, in the same order, as
+    # the historical accumulate-in-loop — threads change nothing.
+    for batch_loss, batch_correct, count in parts:
+        loss_sum += batch_loss
+        correct += batch_correct
+        total += count
     return float(loss_sum / total), correct / total
 
 

@@ -9,6 +9,12 @@ operate on a single ``RN`` vector, exactly as the paper's notation does).
 
 from repro.utils.rng import as_generator, spawn_generators, derive_seed
 from repro.utils.dtypes import DEFAULT_DTYPE, SUPPORTED_DTYPES, resolve_dtype
+from repro.utils.parallel import (
+    block_ranges,
+    num_threads,
+    parallel_map,
+    set_num_threads,
+)
 from repro.utils.flat import (
     flatten_arrays,
     unflatten_vector,
@@ -31,6 +37,10 @@ __all__ = [
     "DEFAULT_DTYPE",
     "SUPPORTED_DTYPES",
     "resolve_dtype",
+    "block_ranges",
+    "num_threads",
+    "parallel_map",
+    "set_num_threads",
     "flatten_arrays",
     "unflatten_vector",
     "ParamSpec",
