@@ -156,4 +156,52 @@ print(
     "fused_round gate ok:",
     {n: f"{row['speedup']:.2f}x" for n, row in section.items()},
 )
+
+# Calendar-queue gate: on the sampling-storm workload (500k standing
+# renewal events + per-round participant bursts) the bucketed scheduler
+# must clear at least 2x the binary heap's events/s — the headline
+# claim of the million-client scheduler work (measured ~2.5x).
+section = report.get("event_throughput", {})
+if not section:
+    sys.exit("BENCH_hot_paths.json has no event_throughput section")
+for n, row in section.items():
+    if row["speedup"] < 2.0:
+        sys.exit(
+            f"calendar queue speedup {row['speedup']:.2f}x below the "
+            f"2x floor on the sampling storm (population={n})"
+        )
+print(
+    "event_throughput gate ok:",
+    {
+        n: f"heap {row['heap_events_per_second'] / 1e3:.0f}k ev/s, "
+        f"calendar {row['calendar_events_per_second'] / 1e3:.0f}k ev/s "
+        f"({row['speedup']:.2f}x)"
+        for n, row in section.items()
+    },
+)
+
+# Sharded-arena gate: resident bytes per enrolled client must stay
+# below the dense line (2 * model_size * itemsize per client) — the
+# memory claim of the sampled-participation mode.  At the tracked
+# settings (100k enrolled, 1024 resident rows) the honest figure is
+# ~1% of dense; the gate only requires "below dense" so capacity
+# retuning can't silently break it.
+section = report.get("sharded_memory", {})
+if not section:
+    sys.exit("BENCH_hot_paths.json has no sharded_memory section")
+for n, row in section.items():
+    if row["resident_bytes_per_enrolled"] >= row["dense_bytes_per_enrolled"]:
+        sys.exit(
+            f"sharded arena resident bytes/enrolled "
+            f"{row['resident_bytes_per_enrolled']:.1f} not below the dense "
+            f"line {row['dense_bytes_per_enrolled']} at n={n}"
+        )
+print(
+    "sharded_memory gate ok:",
+    {
+        n: f"{row['resident_bytes_per_enrolled']:.1f} B/client vs dense "
+        f"{row['dense_bytes_per_enrolled']} ({row['memory_reduction']:.0f}x)"
+        for n, row in section.items()
+    },
+)
 PY

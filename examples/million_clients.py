@@ -1,0 +1,126 @@
+"""Million-enrolled-client asynchronous federated averaging on a laptop.
+
+Cross-device federated learning enrolls populations far larger than any
+round's participant set: a million phones register, a few hundred are
+up, idle and charging when the server samples a round.  Simulating that
+regime needs every per-client cost to be lazy — this example is the
+PR's tentpole demo, composing:
+
+* :class:`~repro.nn.ShardedArena` — parameter rows materialize only for
+  clients actually participating (LRU shard, ``capacity`` rows), so
+  resident model memory is ∝ the active set, not the enrolment;
+* :class:`~repro.sim.RenewalPopulation` — per-client exponential
+  up/down arrival processes, generated lazily per touched client;
+* :class:`~repro.algorithms.SampledAsyncFedAvg` — a K-seat in-flight
+  participant pool over the population with FedAsync staleness-weighted
+  server mixing, per-client data synthesized on demand from seed
+  substreams;
+* the calendar-queue event engine — bucketed O(1) scheduling for the
+  sampling storm of download/compute/upload events.
+
+Reports events/second through the scheduler and resident bytes per
+enrolled client — the honest scale numbers.  A dense arena at the same
+enrolment would need ``2 * n * model_size * 8`` bytes (~5 GB at the
+defaults); here the arena stays in the low MB.
+
+Run:  python examples/million_clients.py
+      python examples/million_clients.py --clients 50000 --sim-time 20
+"""
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.algorithms import LogisticBlobsTask, SampledAsyncFedAvg
+from repro.network.transport import SimulatedNetwork
+from repro.sim import ConstantCompute, EventEngine, RenewalPopulation
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Million-enrolled-client sampled AsyncFedAvg"
+    )
+    parser.add_argument("--clients", type=int, default=1_000_000,
+                        help="enrolled population size")
+    parser.add_argument("--sample", type=int, default=512,
+                        help="in-flight participant seats")
+    parser.add_argument("--capacity", type=int, default=None,
+                        help="resident arena rows (default: 2*sample+16)")
+    parser.add_argument("--sim-time", type=float, default=40.0,
+                        help="simulated seconds to run")
+    parser.add_argument("--local-steps", type=int, default=2)
+    parser.add_argument("--compute-time", type=float, default=0.5,
+                        help="simulated seconds per local step")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    task = LogisticBlobsTask(num_features=32, num_classes=10, seed=args.seed)
+    algorithm = SampledAsyncFedAvg(
+        task,
+        num_clients=args.clients,
+        sample_size=args.sample,
+        capacity=args.capacity,
+        local_steps=args.local_steps,
+        lr=0.1,
+        seed=args.seed,
+    )
+    population = RenewalPopulation(
+        args.clients, mean_up=60.0, mean_down=30.0, seed=args.seed
+    )
+    network = SimulatedNetwork(args.clients, server_bandwidth=100.0)
+    engine = EventEngine(
+        network,
+        compute_model=ConstantCompute(args.compute_time),
+        population=population,
+        record_trace=False,  # per-worker traces are O(events) memory
+    )
+
+    dense_bytes = 2 * args.clients * task.model_size * 8
+    print(f"enrolled clients    : {args.clients:,}")
+    print(f"participant seats   : {args.sample}")
+    print(f"arena capacity      : {algorithm.arena.capacity} rows "
+          f"(dense equivalent: {dense_bytes / 1e9:.2f} GB)")
+
+    wall_start = time.perf_counter()
+    result = engine.run(
+        algorithm,
+        validation=task,
+        duration=args.sim_time,
+        checkpoint_every=args.sim_time / 4,
+    )
+    wall = time.perf_counter() - wall_start
+
+    resident = algorithm.arena.resident_bytes()
+    print()
+    print(f"simulated seconds   : {args.sim_time}")
+    print(f"wall seconds        : {wall:.2f}")
+    print(f"events processed    : {result.events_processed:,} "
+          f"({result.events_processed / wall:,.0f} events/s)")
+    print(f"server updates      : {algorithm.server_version:,} "
+          f"(mean staleness {np.mean(algorithm.staleness_log):.1f})")
+    print(f"clients touched     : {population.touched_clients:,} "
+          f"(arena stats: {algorithm.arena.stats()})")
+    print(f"resident arena bytes: {resident:,} "
+          f"({resident / args.clients:.4f} bytes/enrolled client; dense "
+          f"would be {dense_bytes / args.clients:.0f})")
+    print()
+    print("trajectory (simulated time -> validation accuracy):")
+    for record in result.history:
+        print(f"  t={record.time_s:7.1f}s  acc={record.val_accuracy:6.1%}  "
+              f"loss={record.val_loss:.3f}  staleness={record.mean_staleness:.1f}")
+    final = result.history[-1]
+    initial = result.history[0]
+    assert final.val_accuracy > initial.val_accuracy, (
+        "the sampled run should learn"
+    )
+    # Resident bytes are a function of capacity, not enrolment, so the
+    # ratio to the dense arena improves with n (1000x at a million).
+    assert resident < dense_bytes / 10, "resident memory must stay sharded"
+    print("\nOK: memory stayed proportional to the active set while the "
+          "global model learned.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

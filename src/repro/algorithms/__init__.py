@@ -25,6 +25,7 @@ from repro.algorithms.asynchronous import (
     AsyncFedAvg,
     AsyncGossip,
 )
+from repro.algorithms.sampled import LogisticBlobsTask, SampledAsyncFedAvg
 
 __all__ = [
     "DistributedAlgorithm",
@@ -40,4 +41,6 @@ __all__ = [
     "AsyncDPSGD",
     "AsyncFedAvg",
     "AsyncGossip",
+    "LogisticBlobsTask",
+    "SampledAsyncFedAvg",
 ]

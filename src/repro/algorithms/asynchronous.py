@@ -251,6 +251,17 @@ class AsyncAlgorithm(DistributedAlgorithm):
         engine = self.engine
         if engine.faults_active and not engine.worker_up[rank]:
             return  # a dead worker's cycle restarts through recovery
+        population = getattr(engine, "population", None)
+        if population is not None:
+            # Arrival-process availability: a down worker sleeps until
+            # its own next up-*time* (one wake-up event), instead of the
+            # churn model's per-cycle poll-and-retry.
+            up_at = population.next_up(rank, start)
+            if up_at > start:
+                self._schedule_worker(
+                    rank, up_at, lambda t, r=rank: self._begin_cycle(r, t)
+                )
+                return
         cycle = int(self._cycle_counts[rank])
         self._cycle_counts[rank] += 1
         if engine.churn is not None:
@@ -615,6 +626,7 @@ class AsyncFedAvg(AsyncAlgorithm):
         local_steps: int = 5,
         mixing: float = 0.6,
         staleness_power: float = 1.0,
+        sample_size: Optional[int] = None,
     ) -> None:
         super().__init__(local_steps=local_steps)
         if not 0.0 < mixing <= 1.0:
@@ -623,8 +635,16 @@ class AsyncFedAvg(AsyncAlgorithm):
             raise ValueError(
                 f"staleness_power must be >= 0, got {staleness_power}"
             )
+        if sample_size is not None and int(sample_size) < 1:
+            raise ValueError(f"sample_size must be >= 1, got {sample_size}")
         self.mixing = float(mixing)
         self.staleness_power = float(staleness_power)
+        #: Sampled participation: at most this many clients hold an
+        #: in-flight cycle at any moment; each completed (or dropped)
+        #: upload frees the seat for a freshly sampled client.  ``None``
+        #: keeps the classic mode where every worker loops forever.
+        self.sample_size = None if sample_size is None else int(sample_size)
+        self._active: set = set()
         self.global_model: Optional[np.ndarray] = None
         self.server_version = 0
         self.upload_count = 0
@@ -637,6 +657,77 @@ class AsyncFedAvg(AsyncAlgorithm):
         if self.network.server_bandwidth is None and self.network.bandwidth is not None:
             # The paper's Fig. 6 convention: the server gets the best link.
             self.network.server_bandwidth = float(self.network.bandwidth.max())
+
+    # ------------------------------------------------------------------
+    # sampled participation: a K-seat pool over the enrolled population
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self.sample_size is None:
+            super().start()
+            return
+        self._cycle_counts = np.zeros(self.num_workers, dtype=np.int64)
+        self.initial_model = self.workers[0].snapshot_params()
+        self._active = set()
+        count = min(self.sample_size, self.num_workers)
+        population = getattr(self.engine, "population", None)
+        if population is not None:
+            initial = population.sample_up(0.0, count, self._rng)
+        else:
+            initial = sorted(
+                self._rng.choice(
+                    self.num_workers, size=count, replace=False
+                ).tolist()
+            )
+        for rank in initial:
+            self._active.add(int(rank))
+            self._begin_cycle(int(rank), 0.0)
+
+    def _draw_participant(self, now: float) -> Optional[int]:
+        """One fresh (up, idle) client, or ``None`` when none is found."""
+        population = getattr(self.engine, "population", None)
+        for _ in range(64):
+            if population is not None:
+                drawn = population.sample_up(now, 1, self._rng)
+                if not drawn:
+                    return None
+                candidate = int(drawn[0])
+            else:
+                candidate = int(self._rng.integers(self.num_workers))
+            if candidate not in self._active:
+                return candidate
+        return None
+
+    def _fill_seat(self, now: float) -> None:
+        """Hand a freed participation seat to a freshly sampled client."""
+        replacement = self._draw_participant(now)
+        if replacement is None:
+            # Nobody up and idle right now — poll again shortly rather
+            # than leaking the seat for the rest of the run.
+            self.engine.schedule(now + 1.0, self._fill_seat)
+            return
+        self._active.add(replacement)
+        self._begin_cycle(replacement, now)
+
+    def _cycle_finished(self, rank: int, now: float) -> None:
+        """Cycle end: loop forever (classic) or resample (sampled)."""
+        if self.sample_size is None:
+            self._begin_cycle(rank, now)
+            return
+        self._active.discard(rank)
+        self._fill_seat(now)
+
+    def on_worker_crashed(self, rank: int, now: float) -> None:
+        if self.sample_size is not None and rank in self._active:
+            # The crashed client's seat is refilled immediately; its
+            # recovery hands the worker back to the dormant pool.
+            self._active.discard(rank)
+            self._fill_seat(now)
+
+    def restart_worker(self, rank: int, now: float) -> None:
+        if self.sample_size is None:
+            super().restart_worker(rank, now)
+        # Sampled mode: the restored worker rejoins the dormant pool and
+        # waits to be sampled again (its seat was refilled at crash time).
 
     def _start_cycle(self, rank: int, cycle: int, start: float) -> None:
         engine = self.engine
@@ -688,7 +779,7 @@ class AsyncFedAvg(AsyncAlgorithm):
 
             def on_give_up(t: float, survivor: int, r=rank):
                 self.dropped_uploads += 1
-                self._begin_cycle(r, t)
+                self._cycle_finished(r, t)
 
             self._drive_exchange(
                 rank, TrafficMeter.SERVER, model_bytes, index,
@@ -706,7 +797,7 @@ class AsyncFedAvg(AsyncAlgorithm):
                 now, rank, TrafficMeter.SERVER, model_bytes, index
             )
             engine.schedule(
-                max(ul_end, now), lambda t, r=rank: self._begin_cycle(r, t)
+                max(ul_end, now), lambda t, r=rank: self._cycle_finished(r, t)
             )
             return
         _, ul_end = engine.start_transfer(
@@ -725,7 +816,7 @@ class AsyncFedAvg(AsyncAlgorithm):
         mixed = (1.0 - alpha) * self.global_model + alpha * upload
         self.global_model = mixed.astype(self.global_model.dtype, copy=False)
         self.server_version += 1
-        self._begin_cycle(rank, now)
+        self._cycle_finished(rank, now)
 
     def _upload_vector(self, rank: int) -> np.ndarray:
         if self.arena is not None:

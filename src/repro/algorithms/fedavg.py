@@ -33,15 +33,29 @@ class FedAvg(DistributedAlgorithm):
         participation: float = 0.5,
         local_steps: int = 5,
         server_bandwidth: Optional[float] = None,
+        sample_size: Optional[int] = None,
+        population=None,
+        round_duration: float = 1.0,
     ) -> None:
         super().__init__()
         if not 0.0 < participation <= 1.0:
             raise ValueError(f"participation must be in (0, 1], got {participation}")
         if local_steps <= 0:
             raise ValueError(f"local_steps must be positive, got {local_steps}")
+        if sample_size is not None and int(sample_size) < 1:
+            raise ValueError(f"sample_size must be >= 1, got {sample_size}")
+        if round_duration <= 0:
+            raise ValueError(f"round_duration must be > 0, got {round_duration}")
         self.participation = participation
         self.local_steps = local_steps
         self._server_bandwidth = server_bandwidth
+        #: Sampled participation: draw exactly ``sample_size`` clients per
+        #: round (optionally from the clients a ``population`` model says
+        #: are up at ``round_index * round_duration``) instead of the
+        #: classic fraction-``C`` permutation draw.
+        self.sample_size = None if sample_size is None else int(sample_size)
+        self.population = population
+        self.round_duration = float(round_duration)
         self.global_model: Optional[np.ndarray] = None
 
     def _after_setup(self) -> None:
@@ -51,12 +65,44 @@ class FedAvg(DistributedAlgorithm):
         if self._server_bandwidth is None and self.network.bandwidth is not None:
             # The paper's Fig. 6 setup: the server gets the best link.
             self._server_bandwidth = float(self.network.bandwidth.max())
+        if (
+            self.population is not None
+            and self.population.num_clients != self.num_workers
+        ):
+            raise ValueError(
+                f"population models {self.population.num_clients} clients, "
+                f"algorithm has {self.num_workers} workers"
+            )
 
-    def _select(self) -> List[int]:
-        count = max(1, int(round(self.participation * self.num_workers)))
-        return sorted(
-            self._rng.choice(self.num_workers, size=count, replace=False).tolist()
-        )
+    def _select(self, round_index: int = 0) -> List[int]:
+        if self.sample_size is None and self.population is None:
+            count = max(1, int(round(self.participation * self.num_workers)))
+            return sorted(
+                self._rng.choice(
+                    self.num_workers, size=count, replace=False
+                ).tolist()
+            )
+        count = self.sample_size
+        if count is None:
+            count = max(1, int(round(self.participation * self.num_workers)))
+        count = min(count, self.num_workers)
+        if self.population is not None:
+            time = float(round_index) * self.round_duration
+            chosen = self.population.sample_up(time, count, self._rng)
+            if chosen:
+                return chosen
+            # Nobody reachable this round (deep outage): fall through to a
+            # single uniform pick so the round stays well-defined.
+            return [int(self._rng.integers(self.num_workers))]
+        # sample_size without a population model: uniform over everyone,
+        # O(count) for any enrolment (no O(n) permutation).
+        chosen_set: set = set()
+        while len(chosen_set) < count:
+            for c in self._rng.integers(
+                0, self.num_workers, size=count - len(chosen_set)
+            ):
+                chosen_set.add(int(c))
+        return sorted(chosen_set)
 
     def _account(self, round_index: int, selected: List[int], upload_bytes: int) -> None:
         """Dense download + (possibly sparse) upload per selected worker."""
@@ -91,7 +137,7 @@ class FedAvg(DistributedAlgorithm):
         self.network.finish_round()
 
     def run_round(self, round_index: int) -> float:
-        selected = self._select()
+        selected = self._select(round_index)
         self.last_participants = selected
         if self.cluster_trainer is not None:
             # Download = one row write per participant; E local steps run
@@ -138,14 +184,24 @@ class SparseFedAvg(FedAvg):
         local_steps: int = 5,
         compression_ratio: float = 100.0,
         server_bandwidth: Optional[float] = None,
+        sample_size: Optional[int] = None,
+        population=None,
+        round_duration: float = 1.0,
     ) -> None:
-        super().__init__(participation, local_steps, server_bandwidth)
+        super().__init__(
+            participation,
+            local_steps,
+            server_bandwidth,
+            sample_size=sample_size,
+            population=population,
+            round_duration=round_duration,
+        )
         if compression_ratio < 1.0:
             raise ValueError("compression_ratio must be >= 1")
         self.compression_ratio = float(compression_ratio)
 
     def run_round(self, round_index: int) -> float:
-        selected = self._select()
+        selected = self._select(round_index)
         self.last_participants = selected
         kept = k_for(self.model_size, self.compression_ratio)
         delta_sums = np.zeros(self.model_size, dtype=self.global_model.dtype)

@@ -127,7 +127,46 @@ def _config(args) -> ExperimentConfig:
         fault_plan=getattr(args, "fault_plan", None),
         exchange_timeout=getattr(args, "exchange_timeout", 5.0),
         recovery=getattr(args, "recovery", "checkpoint"),
+        participation=getattr(args, "participation", "full"),
+        sample_size=getattr(args, "sample_size", None),
+        population=getattr(args, "population_model", None),
+        scheduler=getattr(args, "scheduler", "calendar"),
+        arena=getattr(args, "arena", "dense"),
     )
+
+
+def _build_population(args, config):
+    """Parse ``--population-model`` into a ClientPopulation (or None)."""
+    if not config.population:
+        return None
+    from repro.sim import parse_population
+
+    try:
+        return parse_population(config.population, args.workers, seed=args.seed)
+    except ValueError as error:
+        raise SystemExit(f"--population-model: {error}")
+
+
+def _apply_sync_sampling(args, config, algorithm, population) -> None:
+    """Wire sampled participation / population into a sync algorithm."""
+    if config.participation != "sampled" and population is None:
+        return
+    if not hasattr(algorithm, "sample_size"):
+        wanted = (
+            "--participation sampled"
+            if config.participation == "sampled"
+            else "--population-model"
+        )
+        raise SystemExit(
+            f"{wanted} supports the client-sampling algorithms (fedavg, "
+            f"s-fedavg) on the sync engine — {args.algorithm} has no "
+            f"client-sampling step; use --engine event for the "
+            f"population-gated asynchronous variants"
+        )
+    if config.participation == "sampled":
+        algorithm.sample_size = config.sample_size
+    algorithm.population = population
+    algorithm.round_duration = getattr(args, "round_duration", 1.0)
 
 
 def _parse_fault_plan(args, horizon: float):
@@ -219,15 +258,26 @@ def cmd_run_event(args, partitions, validation, factory, config) -> int:
         recovery = make_recovery_policy(
             args.recovery, checkpoint_interval=args.checkpoint_interval
         )
+    population = _build_population(args, config)
     async_factory = ASYNC_FACTORIES.get(args.algorithm)
     if async_factory is not None:
         algorithm = async_factory(args)
+        if config.participation == "sampled":
+            if not hasattr(algorithm, "sample_size"):
+                raise SystemExit(
+                    f"--participation sampled on --engine event supports "
+                    f"fedavg (the K-seat async pool); {args.algorithm} has "
+                    f"no server-side sampling step — --population-model "
+                    f"alone gates any asynchronous variant's cycles"
+                )
+            algorithm.sample_size = config.sample_size
         result = run_event_experiment(
             algorithm, partitions, validation, factory, config, network,
             compute_model=compute_model, duration=args.sim_time,
             checkpoint_every=args.checkpoint_every,
             fault_plan=plan, exchange_policy=exchange_policy,
-            recovery=recovery,
+            recovery=recovery, scheduler=config.scheduler,
+            population=population,
         )
     else:
         if plan is not None:
@@ -238,6 +288,7 @@ def cmd_run_event(args, partitions, validation, factory, config) -> int:
                 f"engine's round-level projection instead"
             )
         algorithm = ALGORITHM_FACTORIES[args.algorithm](args)
+        _apply_sync_sampling(args, config, algorithm, population)
         result = run_sync_timeline(
             algorithm, partitions, validation, factory, config, network,
             compute_model=compute_model,
@@ -271,27 +322,35 @@ def cmd_run_event(args, partitions, validation, factory, config) -> int:
 
 
 def cmd_run(args) -> int:
-    if args.preset:
-        from repro.presets import instantiate_preset
+    try:
+        if args.preset:
+            from repro.presets import instantiate_preset
 
-        partitions, validation, factory, config = instantiate_preset(
-            args.preset,
-            num_workers=args.workers,
-            fast=not args.full_model,
-            samples_per_worker=args.samples_per_worker,
-            validation_samples=args.validation_samples,
-            seed=args.seed,
-            dtype=args.dtype,
-            local_steps=args.local_steps,
-            engine=args.engine,
-            fault_plan=args.fault_plan,
-            exchange_timeout=args.exchange_timeout,
-            recovery=args.recovery,
-        )
-        print(f"Preset: {args.preset} (fast={not args.full_model})")
-    else:
-        partitions, validation, factory = _build_workload(args)
-        config = _config(args)
+            partitions, validation, factory, config = instantiate_preset(
+                args.preset,
+                num_workers=args.workers,
+                fast=not args.full_model,
+                samples_per_worker=args.samples_per_worker,
+                validation_samples=args.validation_samples,
+                seed=args.seed,
+                dtype=args.dtype,
+                local_steps=args.local_steps,
+                engine=args.engine,
+                fault_plan=args.fault_plan,
+                exchange_timeout=args.exchange_timeout,
+                recovery=args.recovery,
+                participation=args.participation,
+                sample_size=args.sample_size,
+                population=args.population_model,
+                scheduler=args.scheduler,
+                arena=args.arena,
+            )
+            print(f"Preset: {args.preset} (fast={not args.full_model})")
+        else:
+            partitions, validation, factory = _build_workload(args)
+            config = _config(args)
+    except ValueError as error:
+        raise SystemExit(f"configuration error: {error}")
     if config.engine == "event":
         return cmd_run_event(args, partitions, validation, factory, config)
     bandwidth = _build_bandwidth(args)
@@ -301,6 +360,7 @@ def cmd_run(args) -> int:
         server_bandwidth=float(bandwidth.max()) if bandwidth is not None else None,
     )
     algorithm = ALGORITHM_FACTORIES[args.algorithm](args)
+    _apply_sync_sampling(args, config, algorithm, _build_population(args, config))
     plan = _parse_fault_plan(args, horizon=args.rounds * args.round_duration)
     if plan is not None:
         # Round-level projection: the same timed plan the event engine
@@ -573,6 +633,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--round-duration", type=float, default=1.0,
         help="sync engine + --fault-plan: simulated seconds one round "
         "spans when projecting timed faults to per-round masks",
+    )
+    run_p.add_argument(
+        "--participation", choices=["full", "sampled"], default="full",
+        help="client participation: 'full' (classic — every worker, or "
+        "FedAvg's fraction-C draw) or 'sampled' (exactly --sample-size "
+        "clients per round; on --engine event, a K-seat in-flight pool). "
+        "Supported by the fedavg family",
+    )
+    run_p.add_argument(
+        "--sample-size", type=int, default=None,
+        help="participants per round with --participation sampled",
+    )
+    run_p.add_argument(
+        "--population-model", type=str, default=None,
+        help="client availability as an arrival process: 'always', "
+        "'renewal:up=60,down=30' (exponential up/down times, seconds) or "
+        "'none'.  Sampling draws from the currently-up clients; on "
+        "--engine event, every async variant gates its cycles on it",
+    )
+    run_p.add_argument(
+        "--scheduler", choices=["calendar", "heap"], default="calendar",
+        help="event-engine scheduler: the bucketed calendar queue "
+        "(default, fast) or the binary-heap oracle — identical event "
+        "order, property-tested bit-for-bit",
+    )
+    run_p.add_argument(
+        "--arena", choices=["dense", "sharded"], default="dense",
+        help="parameter-arena implementation: contiguous dense matrix or "
+        "the sharded lazy arena (bit-identical at full capacity; "
+        "memory ∝ active clients at million scale)",
     )
     common(run_p)
     run_p.set_defaults(func=cmd_run)

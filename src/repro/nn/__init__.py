@@ -9,6 +9,7 @@ algorithms is the flat-vector API on :class:`Module`
 
 from repro.nn.module import Identity, Module, Parameter, Sequential
 from repro.nn.arena import ParameterArena, shared_arena
+from repro.nn.sharded import ShardedArena
 from repro.nn.batched import (
     BatchedCrossEntropyLoss,
     BatchedLinear,
@@ -53,6 +54,7 @@ __all__ = [
     "Module",
     "Parameter",
     "ParameterArena",
+    "ShardedArena",
     "shared_arena",
     "BatchedCrossEntropyLoss",
     "BatchedLinear",

@@ -147,6 +147,11 @@ def instantiate_preset(
     fault_plan: Optional[str] = None,
     exchange_timeout: float = 5.0,
     recovery: str = "checkpoint",
+    participation: str = "full",
+    sample_size: Optional[int] = None,
+    population: Optional[str] = None,
+    scheduler: str = "calendar",
+    arena: str = "dense",
     num_threads: Optional[int] = None,
 ) -> Tuple[List[Dataset], Dataset, Callable[[], Module], ExperimentConfig]:
     """Build (partitions, validation, model_factory, config) for a preset.
@@ -229,5 +234,10 @@ def instantiate_preset(
         fault_plan=fault_plan,
         exchange_timeout=exchange_timeout,
         recovery=recovery,
+        participation=participation,
+        sample_size=sample_size,
+        population=population,
+        scheduler=scheduler,
+        arena=arena,
     )
     return partitions, validation, model_factory, config

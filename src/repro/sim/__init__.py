@@ -33,14 +33,22 @@ from repro.sim.timing import (
     ConstantCompute,
     HeterogeneousCompute,
 )
+from repro.sim.calendar import CalendarQueue
 from repro.sim.events import (
     EventEngine,
     EventQueue,
     EventResult,
     EventTrace,
+    NullTrace,
     TimedRecord,
     run_event_experiment,
     run_sync_timeline,
+)
+from repro.sim.population import (
+    AlwaysUp,
+    ClientPopulation,
+    RenewalPopulation,
+    parse_population,
 )
 from repro.sim.faults import (
     FaultChurn,
@@ -73,11 +81,17 @@ __all__ = [
     "ComputeModel",
     "ConstantCompute",
     "HeterogeneousCompute",
+    "CalendarQueue",
     "EventEngine",
     "EventQueue",
     "EventResult",
     "EventTrace",
+    "NullTrace",
     "TimedRecord",
+    "ClientPopulation",
+    "AlwaysUp",
+    "RenewalPopulation",
+    "parse_population",
     "run_event_experiment",
     "run_sync_timeline",
     "FaultPlan",

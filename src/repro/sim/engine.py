@@ -84,6 +84,24 @@ class ExperimentConfig:
     #: Recovery policy for crashed workers: "checkpoint", "peer" or
     #: "cold" (:mod:`repro.resilience`).
     recovery: str = "checkpoint"
+    #: Participation mode: ``"full"`` (every worker / the classic
+    #: fraction-C draw) or ``"sampled"`` (exactly ``sample_size`` clients
+    #: per round — or in flight, on the event engine).  Only the
+    #: FedAvg-family algorithms support sampling; dispatchers validate.
+    participation: str = "full"
+    #: Participants per round (requires ``participation="sampled"``).
+    sample_size: Optional[int] = None
+    #: Client-availability spec for
+    #: :func:`repro.sim.population.parse_population` — ``None``/"none"
+    #: (always on), ``"always"``, or ``"renewal:up=60,down=30"``.
+    population: Optional[str] = None
+    #: Event-engine scheduler: ``"calendar"`` (bucketed, fast) or
+    #: ``"heap"`` (the binary-heap oracle).  Identical event order.
+    scheduler: str = "calendar"
+    #: Arena implementation: ``"dense"`` (:class:`repro.nn.ParameterArena`)
+    #: or ``"sharded"`` (:class:`repro.nn.ShardedArena`; bit-identical in
+    #: its full-capacity dense mode, LRU-sharded at million scale).
+    arena: str = "dense"
 
     def __post_init__(self) -> None:
         if self.rounds <= 0:
@@ -111,6 +129,41 @@ class ExperimentConfig:
             raise ValueError(
                 f"recovery must be 'checkpoint', 'peer' or 'cold', "
                 f"got {self.recovery!r}"
+            )
+        if self.participation not in ("full", "sampled"):
+            raise ValueError(
+                f"participation must be 'full' or 'sampled', "
+                f"got {self.participation!r}"
+            )
+        if self.sample_size is not None:
+            if int(self.sample_size) < 1:
+                raise ValueError(
+                    f"sample_size must be >= 1, got {self.sample_size}"
+                )
+            if self.participation != "sampled":
+                raise ValueError(
+                    "sample_size is set but participation is 'full' — pass "
+                    "participation='sampled' (CLI: --participation sampled)"
+                )
+        elif self.participation == "sampled":
+            raise ValueError(
+                "participation='sampled' needs sample_size (CLI: "
+                "--sample-size K)"
+            )
+        if self.population is not None:
+            # Fail at config time with the parser's friendly message,
+            # not deep inside a dispatcher.
+            from repro.sim.population import parse_population
+
+            parse_population(self.population, 1, seed=self.seed)
+        if self.scheduler not in ("calendar", "heap"):
+            raise ValueError(
+                f"scheduler must be 'calendar' or 'heap', "
+                f"got {self.scheduler!r}"
+            )
+        if self.arena not in ("dense", "sharded"):
+            raise ValueError(
+                f"arena must be 'dense' or 'sharded', got {self.arena!r}"
             )
 
 
@@ -209,7 +262,17 @@ def make_workers(
             )
         )
     if config.use_arena:
-        ParameterArena.adopt_models(
+        if config.arena == "sharded":
+            # Full-capacity ShardedArena: dense-mode storage and
+            # behaviour are the parent class verbatim, so trajectories
+            # stay bit-identical (the sharding machinery only engages
+            # below capacity — million-scale sampled runs).
+            from repro.nn.sharded import ShardedArena
+
+            arena_cls = ShardedArena
+        else:
+            arena_cls = ParameterArena
+        arena_cls.adopt_models(
             [worker.model for worker in workers], dtype=dtype
         )
         for worker in workers:

@@ -45,6 +45,7 @@ from repro.resilience import (
     ResilienceStats,
     make_recovery_policy,
 )
+from repro.sim.calendar import CalendarQueue
 from repro.sim.engine import ExperimentConfig, evaluate_consensus, make_workers
 from repro.sim.faults import FaultPlan
 from repro.sim.timing import ComputeModel, ConstantCompute
@@ -91,11 +92,36 @@ class EventQueue:
         self._live += 1
         return entry
 
+    def push_many(self, events) -> List[List]:
+        """Batched :meth:`push`; returns the handles in input order.
+
+        Same (time, push-order) semantics as a push loop — the batched
+        form exists so callers can hit either scheduler through one API
+        (:class:`~repro.sim.calendar.CalendarQueue` amortizes real work
+        here; for the heap it is just the loop)."""
+        return [self.push(time, action) for time, action in events]
+
+    #: Compaction floor: below this heap size the tombstone overhead is
+    #: noise and rebuilding would only churn allocations.
+    _COMPACT_MIN = 64
+
     def cancel(self, entry: List) -> None:
-        """Void a pushed event (idempotent); survivors keep their order."""
+        """Void a pushed event (idempotent); survivors keep their order.
+
+        When tombstones outnumber live entries (long fault-heavy runs
+        cancel in bulk — aborted exchanges, dead incarnations) the heap
+        is rebuilt from the survivors in place, so its size tracks the
+        live population instead of growing unboundedly.  Pop order is
+        untouched: it is the total order by ``(time, seq)``, which does
+        not depend on the heap's internal layout.
+        """
         if entry[2] is not _CANCELLED:
             entry[2] = _CANCELLED
             self._live -= 1
+            heap = self._heap
+            if len(heap) > self._COMPACT_MIN and self._live < len(heap) // 2:
+                self._heap = [e for e in heap if e[2] is not _CANCELLED]
+                heapq.heapify(self._heap)
 
     def pop(self) -> Tuple[float, Callable]:
         while True:
@@ -164,6 +190,18 @@ class EventTrace:
                 if end > interval.start:
                     totals[interval.worker] += end - interval.start
         return totals
+
+
+class NullTrace(EventTrace):
+    """Trace sink that records nothing.
+
+    Million-client runs generate interval objects faster than anything
+    will ever read them; ``EventEngine(record_trace=False)`` swaps this
+    in so tracing cost scales with *analysed* runs, not all runs."""
+
+    def add(self, worker: int, kind: str, start: float, end: float) -> None:
+        if end < start:
+            raise ValueError(f"interval ends before it starts: {start} > {end}")
 
 
 @dataclass
@@ -256,6 +294,9 @@ class EventEngine:
         fault_plan: Optional[FaultPlan] = None,
         exchange_policy: Optional[ExchangePolicy] = None,
         recovery: Optional[RecoveryPolicy] = None,
+        scheduler: str = "calendar",
+        population=None,
+        record_trace: bool = True,
     ) -> None:
         self.network = network
         self.num_workers = network.num_workers
@@ -263,13 +304,34 @@ class EventEngine:
         self.churn = churn
         self.loss_model = loss_model
         self.contention = bool(contention)
-        self.queue = EventQueue()
+        if scheduler not in ("calendar", "heap"):
+            raise ValueError(
+                f"scheduler must be 'calendar' or 'heap', got {scheduler!r}"
+            )
+        self.scheduler = scheduler
+        # Both schedulers pop in exactly (time, push-order) — the
+        # calendar queue is property-tested bit-for-bit against the heap
+        # (tests/test_calendar_queue.py), so the default is the fast one
+        # and "heap" stays available as the oracle.
+        self.queue = CalendarQueue() if scheduler == "calendar" else EventQueue()
+        #: Client up/down arrival process (repro.sim.population) — the
+        #: algorithms gate cycle starts on it; None means always-on.
+        self.population = population
+        if population is not None and population.num_clients != self.num_workers:
+            raise ValueError(
+                f"population models {population.num_clients} clients but the "
+                f"network has {self.num_workers} workers"
+            )
         self.now = 0.0
         #: Time each worker becomes free (informational; the handlers
         #: keep the authoritative per-worker state machines).
         self.worker_free = np.zeros(self.num_workers, dtype=np.float64)
         self._link_free: Dict[Tuple, float] = {}
-        self.trace = EventTrace(self.num_workers)
+        self.trace = (
+            EventTrace(self.num_workers)
+            if record_trace
+            else NullTrace(self.num_workers)
+        )
         self.events_processed = 0
         # --- fault state -------------------------------------------------
         # The contract: with no plan (or an empty one) the engine performs
@@ -333,6 +395,17 @@ class EventEngine:
                 f"cannot schedule into the past ({time} < now={self.now})"
             )
         self.queue.push(time, action)
+
+    def schedule_many(self, events: Sequence[Tuple[float, Callable]]) -> None:
+        """Batched :meth:`schedule` — the per-round sampling storm of a
+        sampled-participation run inserts hundreds of events at once."""
+        now = self.now
+        for time, _ in events:
+            if time < now:
+                raise ValueError(
+                    f"cannot schedule into the past ({time} < now={now})"
+                )
+        self.queue.push_many(events)
 
     def start_transfer(
         self,
@@ -608,7 +681,14 @@ class EventEngine:
             self._schedule_faults(float(duration))
 
         def snapshot(at: float) -> None:
-            val_loss, val_accuracy = evaluate_consensus(algorithm, validation)
+            # Algorithms without TrainingWorkers (the million-client
+            # sampled driver) evaluate their own consensus model; the
+            # worker-backed variants go through the shared probe worker.
+            evaluator = getattr(algorithm, "evaluate_consensus_model", None)
+            if evaluator is not None:
+                val_loss, val_accuracy = evaluator(validation)
+            else:
+                val_loss, val_accuracy = evaluate_consensus(algorithm, validation)
             staleness = getattr(algorithm, "staleness_log", [])
             result.history.append(
                 TimedRecord(
@@ -689,6 +769,8 @@ def run_event_experiment(
     fault_plan: Optional[FaultPlan] = None,
     exchange_policy: Optional[ExchangePolicy] = None,
     recovery: Optional[RecoveryPolicy] = None,
+    scheduler: str = "calendar",
+    population=None,
 ) -> EventResult:
     """Run an asynchronous algorithm variant on the event engine.
 
@@ -705,6 +787,13 @@ def run_event_experiment(
     configure the deadline/retry and restart behaviour
     (:mod:`repro.resilience`).  A ``None`` or empty plan leaves the run
     bit-identical to a fault-free one.
+
+    ``scheduler`` selects the queue implementation (``"calendar"``
+    bucketed default, ``"heap"`` binary-heap oracle) — the two pop in
+    identical order, so results are bit-identical either way.
+    ``population`` is a client up/down arrival process
+    (:mod:`repro.sim.population`); async algorithms defer cycle starts
+    to each worker's next up-time instead of skipping per-cycle masks.
     """
     if network is None:
         network = SimulatedNetwork(num_workers=len(partitions))
@@ -724,6 +813,8 @@ def run_event_experiment(
         fault_plan=fault_plan,
         exchange_policy=exchange_policy,
         recovery=recovery,
+        scheduler=scheduler,
+        population=population,
     )
     if checkpoint_every is None:
         checkpoint_every = duration / 10.0
