@@ -47,7 +47,12 @@ code path, preserved verbatim behind ``use_arena=False``):
   clear ≥2× the heap's events/s;
 * ``sharded_memory`` — resident bytes per enrolled client of a
   :class:`repro.nn.ShardedArena` at 100k enrolment under the sampled
-  access pattern, gated below the dense ``2 * N * itemsize`` line.
+  access pattern, gated below the dense ``2 * N * itemsize`` line;
+* ``gossip_sampled`` — a full sampled-neighborhood SAPS round
+  (:class:`repro.algorithms.SampledSAPS`) at 100k enrolled / 512
+  sampled: local SGD, in-sample max-weight matching and the shared-mask
+  exchange on pinned sharded rows; reports seconds/round and resident
+  bytes per enrolled client, gated below the dense line.
 
 Every timed section reports **median-of-repeats** (see :func:`_time`);
 sections whose unit cost is too small to time alone sample bursts and
@@ -824,6 +829,58 @@ def bench_sharded_memory(model_size: int = 330) -> dict:
     }
 
 
+#: Gossip-family scale point: the sampled-neighborhood SAPS round at
+#: the same enrolment as the memory section, full algorithm (selection,
+#: matching, local SGD, masked exchange) rather than raw row touches.
+GOSSIP_SAMPLED_ENROLLED = 100_000
+GOSSIP_SAMPLED_SAMPLE = 512
+GOSSIP_SAMPLED_ROUNDS = 8
+
+
+def bench_gossip_sampled() -> dict:
+    """Seconds per sampled-neighborhood SAPS round at 100k enrolled.
+
+    Runs ``GOSSIP_SAMPLED_ROUNDS`` full :class:`SampledSAPS` rounds —
+    participant draw through the shared participation layer, bottleneck-
+    link max-weight matching within the sample, local SGD and the
+    Eq. (7) shared-mask exchange on pinned ShardedArena rows — and
+    reports the median round time plus the resident-memory figure the
+    CI gate holds below the dense ``2 * N * itemsize`` line.
+    """
+    from repro.algorithms import LogisticBlobsTask, SampledSAPS
+
+    task = LogisticBlobsTask(seed=0)
+    algorithm = SampledSAPS(
+        task,
+        GOSSIP_SAMPLED_ENROLLED,
+        sample_size=GOSSIP_SAMPLED_SAMPLE,
+        seed=0,
+    )
+    algorithm.run_round(0)  # warm-up: first faults + bandwidth derives
+    samples = []
+    for round_index in range(1, GOSSIP_SAMPLED_ROUNDS + 1):
+        start = time.perf_counter()
+        algorithm.run_round(round_index)
+        samples.append(time.perf_counter() - start)
+    resident = algorithm.arena.resident_bytes()
+    dense_per_enrolled = 2 * task.model_size * algorithm.arena.dtype.itemsize
+    return {
+        "enrolled": GOSSIP_SAMPLED_ENROLLED,
+        "sample_size": GOSSIP_SAMPLED_SAMPLE,
+        "capacity": algorithm.arena.capacity,
+        "model_size": task.model_size,
+        "seconds_per_round": float(np.median(samples)),
+        "exchanges": algorithm.exchange_count,
+        "resident_bytes": resident,
+        "resident_bytes_per_enrolled": resident / GOSSIP_SAMPLED_ENROLLED,
+        "dense_bytes_per_enrolled": dense_per_enrolled,
+        "memory_reduction": (
+            dense_per_enrolled * GOSSIP_SAMPLED_ENROLLED / resident
+        ),
+        "stats": algorithm.arena.stats(),
+    }
+
+
 def run_suite(quick: bool, repeats: int) -> dict:
     worker_counts = [8, 32] if quick else [8, 32, 128]
     rounds = 20 if quick else 30
@@ -847,6 +904,7 @@ def run_suite(quick: bool, repeats: int) -> dict:
         "fused_round": {},
         "event_throughput": {},
         "sharded_memory": {},
+        "gossip_sampled": {},
     }
     for n in worker_counts:
         print(f"n={n:4d}  flat round-trip ...", flush=True)
@@ -898,6 +956,11 @@ def run_suite(quick: bool, repeats: int) -> dict:
           "memory ...", flush=True)
     report["sharded_memory"][str(SHARDED_MEMORY_ENROLLED)] = (
         bench_sharded_memory(model_size)
+    )
+    print(f"n={GOSSIP_SAMPLED_ENROLLED}  sampled-neighborhood SAPS "
+          "round ...", flush=True)
+    report["gossip_sampled"][str(GOSSIP_SAMPLED_ENROLLED)] = (
+        bench_gossip_sampled()
     )
     return report
 
@@ -990,6 +1053,14 @@ def render(report: dict) -> str:
     for n, row in report["sharded_memory"].items():
         lines.append(
             f"{'sharded_memory':>16} {n:>5} "
+            f"resident {row['resident_bytes_per_enrolled']:>8.2f} B/client  "
+            f"dense {row['dense_bytes_per_enrolled']:>6.0f} B/client  "
+            f"{row['memory_reduction']:>5.1f}x smaller"
+        )
+    for n, row in report["gossip_sampled"].items():
+        lines.append(
+            f"{'gossip_sampled':>16} {n:>5} "
+            f"{row['seconds_per_round']:>9.3e} s/round  "
             f"resident {row['resident_bytes_per_enrolled']:>8.2f} B/client  "
             f"dense {row['dense_bytes_per_enrolled']:>6.0f} B/client  "
             f"{row['memory_reduction']:>5.1f}x smaller"

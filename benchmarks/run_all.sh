@@ -204,4 +204,31 @@ print(
         for n, row in section.items()
     },
 )
+
+# Gossip-family gate: the full sampled-neighborhood SAPS round (100k
+# enrolled, 512 sampled) must keep resident bytes per enrolled client
+# below the dense line and must actually exchange — the memory claim
+# extended from raw row touches to the complete gossip algorithm
+# (writeback store included, since peer state must survive evictions).
+section = report.get("gossip_sampled", {})
+if not section:
+    sys.exit("BENCH_hot_paths.json has no gossip_sampled section")
+for n, row in section.items():
+    if row["resident_bytes_per_enrolled"] >= row["dense_bytes_per_enrolled"]:
+        sys.exit(
+            f"sampled SAPS resident bytes/enrolled "
+            f"{row['resident_bytes_per_enrolled']:.1f} not below the dense "
+            f"line {row['dense_bytes_per_enrolled']} at n={n}"
+        )
+    if row["exchanges"] <= 0:
+        sys.exit(f"sampled SAPS round performed no exchanges at n={n}")
+print(
+    "gossip_sampled gate ok:",
+    {
+        n: f"{row['seconds_per_round'] * 1e3:.0f} ms/round, "
+        f"{row['resident_bytes_per_enrolled']:.1f} B/client vs dense "
+        f"{row['dense_bytes_per_enrolled']} ({row['memory_reduction']:.0f}x)"
+        for n, row in section.items()
+    },
+)
 PY

@@ -25,7 +25,11 @@ from repro.algorithms.asynchronous import (
     AsyncFedAvg,
     AsyncGossip,
 )
-from repro.algorithms.sampled import LogisticBlobsTask, SampledAsyncFedAvg
+from repro.algorithms.sampled import (
+    LogisticBlobsTask,
+    SampledAsyncFedAvg,
+    SampledSAPS,
+)
 
 __all__ = [
     "DistributedAlgorithm",
@@ -43,4 +47,5 @@ __all__ = [
     "AsyncGossip",
     "LogisticBlobsTask",
     "SampledAsyncFedAvg",
+    "SampledSAPS",
 ]

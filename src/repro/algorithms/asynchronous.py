@@ -58,6 +58,9 @@ class AsyncAlgorithm(DistributedAlgorithm):
             raise ValueError(f"local_steps must be >= 1, got {local_steps}")
         self.local_steps = int(local_steps)
         self.engine = None
+        #: Shared participation/residency layer, built at :meth:`bind`
+        #: from the engine's population model.
+        self.participation_ctx = None
         self.total_local_steps = 0
         #: Per-application staleness samples (variant-specific meaning;
         #: empty for variants without a staleness notion).
@@ -76,6 +79,14 @@ class AsyncAlgorithm(DistributedAlgorithm):
                 f"has {self.num_workers}"
             )
         self.engine = engine
+        # Imported here: repro.algorithms must not import the repro.sim
+        # package at module load (sim.comparison imports the algorithms).
+        from repro.sim.participation import ParticipationContext
+
+        self.participation_ctx = ParticipationContext(
+            self.num_workers,
+            population=getattr(engine, "population", None),
+        )
 
     def start(self) -> None:
         """Schedule every worker's first cycle at t = 0."""
@@ -251,12 +262,12 @@ class AsyncAlgorithm(DistributedAlgorithm):
         engine = self.engine
         if engine.faults_active and not engine.worker_up[rank]:
             return  # a dead worker's cycle restarts through recovery
-        population = getattr(engine, "population", None)
-        if population is not None:
+        ctx = self.participation_ctx
+        if ctx is not None and ctx.population is not None:
             # Arrival-process availability: a down worker sleeps until
             # its own next up-*time* (one wake-up event), instead of the
             # churn model's per-cycle poll-and-retry.
-            up_at = population.next_up(rank, start)
+            up_at = ctx.wake_at(rank, start)
             if up_at > start:
                 self._schedule_worker(
                     rank, up_at, lambda t, r=rank: self._begin_cycle(r, t)
@@ -374,6 +385,17 @@ class AsyncGossip(AsyncAlgorithm):
 
     def _on_compute_done(self, rank: int, now: float) -> None:
         self._run_local(rank)
+        # Waiting peers may have gone down since they entered the pool:
+        # a matched partner must be up *now*, so downed peers are pruned
+        # first and re-enter the cycle loop (where they sleep until
+        # their own next up-time) — the arriving worker then re-matches
+        # against the remaining up pool.  Without a population model the
+        # pool is returned untouched (the legacy bit-identical path).
+        up, down = self.participation_ctx.prune_down(self._waiting, now)
+        if down:
+            self._waiting = up
+            for peer in down:
+                self._begin_cycle(peer, now)
         if not self._waiting:
             self._waiting.append(rank)
             return
@@ -441,10 +463,16 @@ class AsyncGossip(AsyncAlgorithm):
         """Eq. 7 on the masked components of the pair — same math as the
         synchronous SAPS fallback path."""
         if self.arena is not None:
-            replicas = self.arena.data
-            averaged = 0.5 * (replicas[a][indices] + replicas[b][indices])
-            replicas[a][indices] = averaged
-            replicas[b][indices] = averaged
+            # Pin both endpoints for the exchange (a no-op on a dense
+            # arena): a sharded arena must not evict either row between
+            # the masked read and the scatter-back.
+            ctx = self.participation_ctx
+            with ctx.resident(self.arena, (a, b)):
+                row_a = ctx.client_row(self.arena, a)
+                row_b = ctx.client_row(self.arena, b)
+                averaged = 0.5 * (row_a[indices] + row_b[indices])
+                row_a[indices] = averaged
+                row_b[indices] = averaged
         else:
             params_a = self.workers[a].get_params()
             params_b = self.workers[b].get_params()
@@ -499,9 +527,14 @@ class AsyncDPSGD(AsyncAlgorithm):
         if engine.faults_active:
             self._faulty_average(rank, gradient, base_mixes, now)
             return
-        peer = int(self._rng.integers(self.num_workers - 1))
-        if peer >= rank:
-            peer += 1
+        # Uniform peer restricted to the up population (the classic
+        # shifted-uniform draw, bit-identical, when no population model
+        # is attached).  No up peer at all: apply the gradient unmixed —
+        # AD-PSGD's averaging needs no peer cooperation.
+        peer = self.participation_ctx.pick_peer(rank, self._rng, now)
+        if peer is None:
+            self._apply(rank, gradient, base_mixes, now)
+            return
         index = self.exchange_count
         self.exchange_count += 1
         if engine.loss_model is not None and engine.loss_model.exchange_fails(
@@ -566,10 +599,14 @@ class AsyncDPSGD(AsyncAlgorithm):
         # Atomic pairwise averaging: x_i, x_j <- (x_i + x_j) / 2.  The
         # peer keeps computing through it (that is AD-PSGD's overlap).
         if self.arena is not None:
-            replicas = self.arena.data
-            mean = 0.5 * (replicas[rank] + replicas[peer])
-            replicas[rank] = mean
-            replicas[peer] = mean
+            # Both endpoint rows pinned for the exchange (no-op dense).
+            ctx = self.participation_ctx
+            with ctx.resident(self.arena, (rank, peer)):
+                row_r = ctx.client_row(self.arena, rank)
+                row_p = ctx.client_row(self.arena, peer)
+                mean = 0.5 * (row_r + row_p)
+                row_r[...] = mean
+                row_p[...] = mean
         else:
             params_a = self.workers[rank].get_params()
             params_b = self.workers[peer].get_params()
@@ -590,9 +627,11 @@ class AsyncDPSGD(AsyncAlgorithm):
         self.staleness_log.append(max(staleness, 0))
         lr = self.workers[rank].optimizer.lr
         if self.arena is not None:
-            self.arena.data[rank] -= np.asarray(
-                lr * gradient, dtype=self.arena.dtype
-            )
+            ctx = self.participation_ctx
+            with ctx.resident(self.arena, (rank,)):
+                ctx.client_row(self.arena, rank)[...] -= np.asarray(
+                    lr * gradient, dtype=self.arena.dtype
+                )
         else:
             worker = self.workers[rank]
             worker.set_params(worker.get_params() - lr * gradient)
@@ -669,33 +708,14 @@ class AsyncFedAvg(AsyncAlgorithm):
         self.initial_model = self.workers[0].snapshot_params()
         self._active = set()
         count = min(self.sample_size, self.num_workers)
-        population = getattr(self.engine, "population", None)
-        if population is not None:
-            initial = population.sample_up(0.0, count, self._rng)
-        else:
-            initial = sorted(
-                self._rng.choice(
-                    self.num_workers, size=count, replace=False
-                ).tolist()
-            )
+        initial = self.participation_ctx.initial_seats(0.0, count, self._rng)
         for rank in initial:
             self._active.add(int(rank))
             self._begin_cycle(int(rank), 0.0)
 
     def _draw_participant(self, now: float) -> Optional[int]:
         """One fresh (up, idle) client, or ``None`` when none is found."""
-        population = getattr(self.engine, "population", None)
-        for _ in range(64):
-            if population is not None:
-                drawn = population.sample_up(now, 1, self._rng)
-                if not drawn:
-                    return None
-                candidate = int(drawn[0])
-            else:
-                candidate = int(self._rng.integers(self.num_workers))
-            if candidate not in self._active:
-                return candidate
-        return None
+        return self.participation_ctx.draw_seat(now, self._rng, self._active)
 
     def _fill_seat(self, now: float) -> None:
         """Hand a freed participation seat to a freshly sampled client."""

@@ -74,35 +74,28 @@ class FedAvg(DistributedAlgorithm):
                 f"algorithm has {self.num_workers} workers"
             )
 
+    def participation_context(self):
+        """The shared selection/gating layer, built from this server's
+        sampling knobs (re-created per call so post-construction
+        ``sample_size``/``population`` wiring by the CLI is honoured)."""
+        # Imported here: repro.algorithms must not import the repro.sim
+        # package at module load (sim.comparison imports the algorithms).
+        from repro.sim.participation import ParticipationContext
+
+        return ParticipationContext(
+            self.num_workers,
+            population=self.population,
+            sample_size=self.sample_size,
+            fraction=self.participation,
+            round_duration=self.round_duration,
+        )
+
     def _select(self, round_index: int = 0) -> List[int]:
-        if self.sample_size is None and self.population is None:
-            count = max(1, int(round(self.participation * self.num_workers)))
-            return sorted(
-                self._rng.choice(
-                    self.num_workers, size=count, replace=False
-                ).tolist()
-            )
-        count = self.sample_size
-        if count is None:
-            count = max(1, int(round(self.participation * self.num_workers)))
-        count = min(count, self.num_workers)
-        if self.population is not None:
-            time = float(round_index) * self.round_duration
-            chosen = self.population.sample_up(time, count, self._rng)
-            if chosen:
-                return chosen
-            # Nobody reachable this round (deep outage): fall through to a
-            # single uniform pick so the round stays well-defined.
-            return [int(self._rng.integers(self.num_workers))]
-        # sample_size without a population model: uniform over everyone,
-        # O(count) for any enrolment (no O(n) permutation).
-        chosen_set: set = set()
-        while len(chosen_set) < count:
-            for c in self._rng.integers(
-                0, self.num_workers, size=count - len(chosen_set)
-            ):
-                chosen_set.add(int(c))
-        return sorted(chosen_set)
+        # Selection lives in the shared ParticipationContext; the draw
+        # consumes self._rng exactly as the historical inline code did.
+        return self.participation_context().select_round(
+            round_index, self._rng
+        )
 
     def _account(self, round_index: int, selected: List[int], upload_bytes: int) -> None:
         """Dense download + (possibly sparse) upload per selected worker."""

@@ -32,6 +32,8 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.compression.base import BYTES_PER_VALUE
+from repro.compression.random_mask import generate_mask
+from repro.core.matching import greedy_weighted_matching
 from repro.network.metrics import TrafficMeter
 from repro.nn.sharded import ShardedArena
 from repro.utils.dtypes import DTypeLike, resolve_dtype
@@ -229,6 +231,8 @@ class SampledAsyncFedAvg:
         self.arena.set_cold(self.global_model)
         self._rng = np.random.default_rng(derive_seed(seed, "sampled-server"))
         self.engine = None
+        #: Shared participation/residency layer, built at :meth:`bind`.
+        self.participation_ctx = None
         self.server_version = 0
         self.upload_count = 0
         self.total_local_steps = 0
@@ -253,13 +257,18 @@ class SampledAsyncFedAvg:
                 "worker-backed AsyncFedAvg for crash/recovery studies"
             )
         self.engine = engine
+        from repro.sim.participation import ParticipationContext
+
+        self.participation_ctx = ParticipationContext(
+            self.num_clients,
+            population=getattr(engine, "population", None),
+            sample_size=self.sample_size,
+        )
 
     def start(self) -> None:
-        population = self.engine.population
-        if population is not None:
-            initial = population.sample_up(0.0, self.sample_size, self._rng)
-        else:
-            initial = self._uniform_sample(self.sample_size)
+        initial = self.participation_ctx.initial_seats(
+            0.0, self.sample_size, self._rng, lazy=True
+        )
         for client in initial:
             self._active.add(int(client))
             self._launch(int(client), 0.0)
@@ -291,30 +300,10 @@ class SampledAsyncFedAvg:
         return self.task.evaluate(self.global_model)
 
     # ------------------------------------------------------------------
-    # sampling
+    # sampling (delegated to the shared participation layer)
     # ------------------------------------------------------------------
-    def _uniform_sample(self, count: int) -> List[int]:
-        chosen: set = set()
-        while len(chosen) < count:
-            for c in self._rng.integers(
-                0, self.num_clients, size=count - len(chosen)
-            ):
-                chosen.add(int(c))
-        return sorted(chosen)
-
     def _draw_participant(self, now: float) -> Optional[int]:
-        population = self.engine.population
-        for _ in range(64):
-            if population is not None:
-                drawn = population.sample_up(now, 1, self._rng)
-                if not drawn:
-                    return None
-                candidate = int(drawn[0])
-            else:
-                candidate = int(self._rng.integers(self.num_clients))
-            if candidate not in self._active:
-                return candidate
-        return None
+        return self.participation_ctx.draw_seat(now, self._rng, self._active)
 
     def _fill_seat(self, now: float) -> None:
         replacement = self._draw_participant(now)
@@ -400,3 +389,228 @@ class SampledAsyncFedAvg:
         self.arena.release([client])
         self._active.discard(client)
         self._fill_seat(now)
+
+
+class SampledSAPS:
+    """Sampled-neighborhood SAPS-PSGD over a huge enrolled population.
+
+    The worker-backed :class:`~repro.algorithms.saps_psgd.SAPSPSGD` plans
+    its max-weight matching over the full ``(n, n)`` bandwidth matrix and
+    keeps every replica dense — both O(n) or O(n²) in the enrolment.
+    Here each round draws ``sample_size`` up clients through the shared
+    :class:`~repro.sim.participation.ParticipationContext`, builds the
+    bandwidth submatrix for just that neighborhood (pairwise rate =
+    bottleneck link, ``min`` of the two endpoints' lazily seeded uplink
+    capabilities), matches *within* the sample, and runs the paper's
+    shared-mask Eq. (7) exchange on :class:`ShardedArena` rows pinned for
+    the round.  Evicted rows write back (``retain_evicted=True``): gossip
+    is peer-to-peer, a client's model *is* its state between
+    participations, unlike the download-fresh server-centric
+    :class:`SampledAsyncFedAvg`.
+
+    Resident memory is ∝ ``capacity``, never enrolment; the consensus
+    diagnostics stream over resident rows + writeback store + lazy cold
+    mass (:func:`~repro.theory.streaming.arena_consensus`), so nothing
+    ever materializes ``(n, N)``.
+    """
+
+    name = "Sampled-SAPS"
+
+    def __init__(
+        self,
+        task: LogisticBlobsTask,
+        num_clients: int,
+        sample_size: int = 512,
+        capacity: Optional[int] = None,
+        compression_ratio: float = 100.0,
+        local_steps: int = 1,
+        lr: float = 0.1,
+        round_duration: float = 1.0,
+        population=None,
+        dtype: DTypeLike = None,
+        seed: int = 0,
+    ) -> None:
+        num_clients = int(num_clients)
+        sample_size = int(sample_size)
+        if num_clients < 2:
+            raise ValueError(f"num_clients must be >= 2, got {num_clients}")
+        if not 1 <= sample_size <= num_clients:
+            raise ValueError(
+                f"sample_size must be in [1, {num_clients}], got {sample_size}"
+            )
+        if compression_ratio < 1.0:
+            raise ValueError(
+                f"compression_ratio must be >= 1, got {compression_ratio}"
+            )
+        if local_steps < 1:
+            raise ValueError(f"local_steps must be >= 1, got {local_steps}")
+        if capacity is None:
+            # Room for the pinned participant set plus reuse headroom.
+            capacity = min(num_clients, 2 * sample_size + 16)
+        capacity = int(capacity)
+        if capacity < sample_size:
+            raise ValueError(
+                f"capacity ({capacity}) must cover the {sample_size} "
+                f"concurrently pinned participants"
+            )
+        self.task = task
+        self.num_clients = num_clients
+        self.num_workers = num_clients
+        self.sample_size = sample_size
+        self.compression_ratio = float(compression_ratio)
+        self.local_steps = int(local_steps)
+        self.lr = float(lr)
+        self.round_duration = float(round_duration)
+        self.population = population
+        self.seed = int(seed)
+        self.model_size = task.model_size
+        self.model_bytes = task.model_size * BYTES_PER_VALUE
+        # Peer-to-peer semantics: an evicted participant's row must
+        # survive to its next participation, so writeback is mandatory.
+        self.arena = ShardedArena(
+            num_clients,
+            task.model_size,
+            dtype=resolve_dtype(dtype),
+            capacity=capacity,
+            retain_evicted=True,
+        )
+        # Dedicated substreams, mirroring SAPSPSGD: participation draws
+        # never perturb matching tie-breaks or mask seeds.
+        self._participation_rng = np.random.default_rng(
+            derive_seed(self.seed, "participation")
+        )
+        self._matching_rng = np.random.default_rng(
+            derive_seed(self.seed, "matching")
+        )
+        self._bandwidth: Dict[int, float] = {}
+        self.last_participants: Optional[List[int]] = None
+        self.rounds_run = 0
+        self.exchange_count = 0
+        self.exchanged_bytes = 0
+        self.total_local_steps = 0
+        self._cycle_counts: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # participation / bandwidth (both lazy)
+    # ------------------------------------------------------------------
+    def participation_context(self):
+        # Imported here: repro.algorithms must not import the repro.sim
+        # package at module load (sim.comparison imports the algorithms).
+        from repro.sim.participation import ParticipationContext
+
+        return ParticipationContext(
+            self.num_clients,
+            population=self.population,
+            sample_size=self.sample_size,
+            round_duration=self.round_duration,
+        )
+
+    def client_bandwidth(self, client: int) -> float:
+        """Client ``client``'s uplink capability, derived on first use.
+
+        Uniform on [1, 100) Mbps from a per-client seed substream — the
+        million-client analogue of the dense runs' random bandwidth
+        matrix, without ever materializing ``(n, n)``.
+        """
+        cached = self._bandwidth.get(client)
+        if cached is None:
+            rng = np.random.default_rng(
+                derive_seed(self.seed, "bandwidth", client)
+            )
+            cached = float(rng.uniform(1.0, 100.0))
+            self._bandwidth[client] = cached
+        return cached
+
+    def _neighborhood_weights(self, participants: List[int]) -> np.ndarray:
+        """Pairwise bandwidth submatrix for the sampled neighborhood.
+
+        Edge rate is the bottleneck link: ``min`` of the endpoints'
+        capabilities — O(K) seed derivations and an O(K²) broadcast, for
+        K = participants, independent of enrolment.
+        """
+        caps = np.array(
+            [self.client_bandwidth(c) for c in participants], dtype=np.float64
+        )
+        weights = np.minimum(caps[:, None], caps[None, :])
+        np.fill_diagonal(weights, 0.0)
+        return weights
+
+    # ------------------------------------------------------------------
+    # the round
+    # ------------------------------------------------------------------
+    def run_round(self, round_index: int) -> float:
+        ctx = self.participation_context()
+        participants = ctx.select_round(round_index, self._participation_rng)
+        self.last_participants = list(participants)
+        if not participants:
+            self.rounds_run += 1
+            return float("nan")
+
+        # Max-weight matching restricted to the sampled (up) neighborhood;
+        # local indices map back through `participants`.
+        matching = []
+        if len(participants) >= 2:
+            local_pairs = greedy_weighted_matching(
+                self._neighborhood_weights(participants),
+                rng=self._matching_rng,
+            )
+            matching = [
+                (participants[i], participants[j]) for i, j in local_pairs
+            ]
+
+        mask = generate_mask(
+            self.model_size,
+            self.compression_ratio,
+            derive_seed(self.seed, "mask", round_index),
+        )
+        indices = np.flatnonzero(mask)
+
+        # Pin the whole participant set for the round: local SGD and the
+        # pairwise merge hold live row views, eviction would tear them.
+        losses = []
+        with ctx.resident(self.arena, participants):
+            for client in participants:
+                cycle = self._cycle_counts.get(client, 0)
+                self._cycle_counts[client] = cycle + 1
+                losses.append(
+                    self.task.run_local(
+                        self.arena.row(client),
+                        client,
+                        cycle,
+                        self.local_steps,
+                        self.lr,
+                    )
+                )
+            self.total_local_steps += len(participants) * self.local_steps
+            for a, b in matching:
+                row_a = ctx.client_row(self.arena, a)
+                row_b = ctx.client_row(self.arena, b)
+                averaged = 0.5 * (row_a[indices] + row_b[indices])
+                row_a[indices] = averaged
+                row_b[indices] = averaged
+            self.exchange_count += len(matching)
+            self.exchanged_bytes += (
+                2 * len(matching) * indices.size * BYTES_PER_VALUE
+            )
+        self.rounds_run += 1
+        return float(np.mean(losses))
+
+    # ------------------------------------------------------------------
+    # streamed diagnostics (never materialize (n, N))
+    # ------------------------------------------------------------------
+    def _streamed(self) -> Tuple[np.ndarray, float]:
+        # Imported here: repro.theory pulls in repro.sim.engine at module
+        # load, which circles back into repro.algorithms.
+        from repro.theory.streaming import arena_consensus
+
+        return arena_consensus(self.arena)
+
+    def consensus_model(self) -> np.ndarray:
+        return self._streamed()[0]
+
+    def consensus_distance(self) -> float:
+        return self._streamed()[1]
+
+    def evaluate(self) -> Tuple[float, float]:
+        """(validation loss, accuracy) of the streamed consensus model."""
+        return self.task.evaluate(self._streamed()[0])

@@ -53,6 +53,9 @@ class SAPSPSGD(DistributedAlgorithm):
         churn=None,
         loss_model=None,
         local_steps: int = 1,
+        sample_size: Optional[int] = None,
+        population=None,
+        round_duration: float = 1.0,
     ) -> None:
         super().__init__()
         if compression_ratio < 1.0:
@@ -85,6 +88,20 @@ class SAPSPSGD(DistributedAlgorithm):
         self.loss_model = loss_model
         #: Count of exchanges dropped by the loss model.
         self.dropped_exchanges = 0
+        if sample_size is not None and int(sample_size) < 1:
+            raise ValueError(f"sample_size must be >= 1, got {sample_size}")
+        if round_duration <= 0:
+            raise ValueError(f"round_duration must be > 0, got {round_duration}")
+        #: Sampled-neighborhood participation: draw ``sample_size``
+        #: clients per round (from the ``population``'s up set when one
+        #: is attached), restrict matching and local steps to the draw.
+        #: The draw uses its *own* seed substream, so a sample covering
+        #: every worker leaves the matching/mask RNG untouched — full-
+        #: coverage runs are bit-identical to full participation.
+        self.sample_size = None if sample_size is None else int(sample_size)
+        self.population = population
+        self.round_duration = float(round_duration)
+        self._participation_rng = None
         self.coordinator: Optional[Coordinator] = None
         #: Fig. 5 series: per-round utilized (bottleneck) bandwidth.
         self.round_bandwidths: List[float] = []
@@ -115,6 +132,21 @@ class SAPSPSGD(DistributedAlgorithm):
             self._selector = FixedRingSelector(n)
         self.round_bandwidths = []
         self.fallback_rounds = []
+        # Fresh setup, fresh participation substream.
+        self._participation_rng = None
+
+    def participation_context(self):
+        """The shared selection/gating layer for this gossip run."""
+        # Imported here: repro.algorithms must not import the repro.sim
+        # package at module load (sim.comparison imports the algorithms).
+        from repro.sim.participation import ParticipationContext
+
+        return ParticipationContext(
+            self.num_workers,
+            population=self.population,
+            sample_size=self.sample_size,
+            round_duration=self.round_duration,
+        )
 
     # ------------------------------------------------------------------
     # the round
@@ -148,6 +180,19 @@ class SAPSPSGD(DistributedAlgorithm):
                 )
         else:
             active = np.ones(self.num_workers, dtype=bool)
+
+        if self.sample_size is not None or self.population is not None:
+            # Sampled-neighborhood round: matching, local SGD and the
+            # exchange all restrict to the drawn (up) participant set.
+            # The draw rides a dedicated seed substream so a full-
+            # coverage sample changes no other RNG stream.
+            if self._participation_rng is None:
+                self._participation_rng = np.random.default_rng(
+                    derive_seed(self.base_seed, "participation")
+                )
+            active &= self.participation_context().round_mask(
+                round_index, self._participation_rng
+            )
 
         self.last_participants = (
             None if active.all() else np.flatnonzero(active).tolist()

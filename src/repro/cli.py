@@ -147,22 +147,28 @@ def _build_population(args, config):
         raise SystemExit(f"--population-model: {error}")
 
 
+def _check_support(args, config, engine: str) -> None:
+    """Table-driven fail-fast: the one support matrix lives on
+    :class:`~repro.sim.participation.ParticipationContext`."""
+    from repro.sim.participation import ParticipationContext
+
+    try:
+        ParticipationContext.check_support(
+            args.algorithm,
+            engine=engine,
+            participation=config.participation,
+            population=config.population,
+            arena=config.arena,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+
 def _apply_sync_sampling(args, config, algorithm, population) -> None:
     """Wire sampled participation / population into a sync algorithm."""
     if config.participation != "sampled" and population is None:
         return
-    if not hasattr(algorithm, "sample_size"):
-        wanted = (
-            "--participation sampled"
-            if config.participation == "sampled"
-            else "--population-model"
-        )
-        raise SystemExit(
-            f"{wanted} supports the client-sampling algorithms (fedavg, "
-            f"s-fedavg) on the sync engine — {args.algorithm} has no "
-            f"client-sampling step; use --engine event for the "
-            f"population-gated asynchronous variants"
-        )
+    _check_support(args, config, "sync")
     if config.participation == "sampled":
         algorithm.sample_size = config.sample_size
     algorithm.population = population
@@ -262,14 +268,8 @@ def cmd_run_event(args, partitions, validation, factory, config) -> int:
     async_factory = ASYNC_FACTORIES.get(args.algorithm)
     if async_factory is not None:
         algorithm = async_factory(args)
+        _check_support(args, config, "event")
         if config.participation == "sampled":
-            if not hasattr(algorithm, "sample_size"):
-                raise SystemExit(
-                    f"--participation sampled on --engine event supports "
-                    f"fedavg (the K-seat async pool); {args.algorithm} has "
-                    f"no server-side sampling step — --population-model "
-                    f"alone gates any asynchronous variant's cycles"
-                )
             algorithm.sample_size = config.sample_size
         result = run_event_experiment(
             algorithm, partitions, validation, factory, config, network,
@@ -359,6 +359,7 @@ def cmd_run(args) -> int:
         bandwidth=bandwidth,
         server_bandwidth=float(bandwidth.max()) if bandwidth is not None else None,
     )
+    _check_support(args, config, "sync")
     algorithm = ALGORITHM_FACTORIES[args.algorithm](args)
     _apply_sync_sampling(args, config, algorithm, _build_population(args, config))
     plan = _parse_fault_plan(args, horizon=args.rounds * args.round_duration)

@@ -106,6 +106,13 @@ class ShardedArena(ParameterArena):
         self.misses = 0
         self.evictions = 0
         self.writebacks = 0
+        #: Pin-contention: evict-candidate scans that had to skip an
+        #: already-pinned LRU row (a gossip exchange or participation
+        #: holding it resident).  Rising fast relative to ``misses``
+        #: means capacity is too tight for the concurrent pin set.
+        self.pin_contentions = 0
+        #: High-water mark of simultaneously pinned clients.
+        self.peak_pins = 0
 
     # ------------------------------------------------------------------
     # slot management (sampled mode)
@@ -149,11 +156,14 @@ class ShardedArena(ParameterArena):
         return slot
 
     def _evict_one(self) -> int:
+        victim = None
         for client in self._lru:
-            if client not in self._pinned:
-                victim = client
-                break
-        else:
+            if client in self._pinned:
+                self.pin_contentions += 1
+                continue
+            victim = client
+            break
+        if victim is None:
             raise RuntimeError(
                 f"all {self.capacity} resident rows are pinned — capacity is "
                 f"smaller than the concurrently active set; raise capacity "
@@ -183,6 +193,8 @@ class ShardedArena(ParameterArena):
             slots[i] = self.slot_of(client)
             if not self.dense:
                 self._pinned[client] = self._pinned.get(client, 0) + 1
+        if not self.dense:
+            self.peak_pins = max(self.peak_pins, len(self._pinned))
         return slots
 
     def release(self, clients: Iterable[int]) -> None:
@@ -280,6 +292,8 @@ class ShardedArena(ParameterArena):
             "misses": self.misses,
             "evictions": self.evictions,
             "writebacks": self.writebacks,
+            "pin_contentions": self.pin_contentions,
+            "peak_pins": self.peak_pins,
             "resident": self.resident_clients,
             "stored": self.stored_clients,
         }
@@ -323,3 +337,17 @@ class ShardedArena(ParameterArena):
         if self.dense:
             return np.arange(self.num_clients, dtype=np.int64)
         return np.array(sorted(self._slot_of.values()), dtype=np.int64)
+
+    def stored_rows(self) -> List[np.ndarray]:
+        """The writeback store's row copies (empty in dense mode) — fed
+        block-wise to the streaming consensus fold."""
+        if self.dense:
+            return []
+        return list(self._store.values())
+
+    @property
+    def cold_vector(self) -> np.ndarray:
+        """The state every never-touched client sits at."""
+        if self._cold is not None:
+            return self._cold
+        return np.zeros(self.model_size, dtype=self.dtype)

@@ -50,6 +50,7 @@ from repro.sim.population import (
     RenewalPopulation,
     parse_population,
 )
+from repro.sim.participation import ParticipationContext
 from repro.sim.faults import (
     FaultChurn,
     FaultEvent,
@@ -92,6 +93,7 @@ __all__ = [
     "AlwaysUp",
     "RenewalPopulation",
     "parse_population",
+    "ParticipationContext",
     "run_event_experiment",
     "run_sync_timeline",
     "FaultPlan",

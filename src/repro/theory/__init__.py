@@ -28,6 +28,7 @@ from repro.theory.diagnostics import (
     diagnose,
     efficiency_ranking,
 )
+from repro.theory.streaming import StreamingMoments, arena_consensus
 
 __all__ = [
     "is_doubly_stochastic",
@@ -50,4 +51,6 @@ __all__ = [
     "TrajectoryDiagnostics",
     "diagnose",
     "efficiency_ranking",
+    "StreamingMoments",
+    "arena_consensus",
 ]
