@@ -39,6 +39,11 @@ code path, preserved verbatim behind ``use_arena=False``):
   whole-matrix expression at n = 1024, with a bit-identity check — the
   fused pass streams each row block through cache once instead of
   materializing four ``(n, N)`` temporaries;
+* ``obs_overhead`` — the telemetry contract on the n = 1024 fused
+  D-PSGD round: the disabled path (null recorder) costs ≤2% — computed
+  analytically from the measured null-span cost times the spans one
+  round opens — and the fully enabled path (metrics registry + Chrome
+  trace) ≤10% against an interleaved off-arm, both gated in CI;
 * ``event_throughput`` — the sampling-storm scheduler duel: a 500k
   standing population of self-rescheduling renewal events plus 512-event
   per-round bursts, run identically through the heap-backed
@@ -581,6 +586,95 @@ EVENT_ROUND_COUNTS = [32]
 #: enough independent blocks for a 4-thread pool to show its scaling.
 THREADS_SCALING_COUNTS = [1024]
 FUSED_ROUND_COUNTS = [1024]
+OBS_OVERHEAD_COUNTS = [1024]
+
+
+def bench_obs_overhead(num_workers: int, repeats: int) -> dict:
+    """Telemetry cost on the fused D-PSGD round, disabled and enabled.
+
+    The disabled bound is analytic rather than differential: a round has
+    a handful of ``obs.phase()`` entries whose null-recorder cost is a
+    couple hundred nanoseconds each — far below the run-to-run jitter of
+    a ~10 ms round, so an off-vs-off A/B would measure noise.  Instead
+    the section times the null span directly (a tight 200k-iteration
+    loop), counts the spans one instrumented round actually opens, and
+    reports their product over the round's wall time.  The *enabled*
+    overhead is a real A/B: off-arm vs trace-arm (registry + Chrome
+    trace) interleaved per repeat to cancel thermal/cache drift (the
+    ``fault_round`` lesson), median per arm.  CI gates disabled ≤ 2%
+    and enabled ≤ 10%.
+    """
+    from repro import obs
+
+    partitions = _workload(num_workers)
+    config = ExperimentConfig(rounds=1, batch_size=2, lr=0.05, seed=7)
+    workers = make_workers(_model_factory(), partitions, config)
+    algorithm = DPSGD()
+    algorithm.setup(workers, SimulatedNetwork(num_workers), rng=7)
+    next_round = [0]
+
+    def run_round():
+        algorithm.run_round(next_round[0])
+        next_round[0] += 1
+
+    # (a) the disabled span's unit cost: enter+exit of the shared no-op.
+    null_calls = 200_000
+    with obs.phase("warm"):  # touch the code path once
+        pass
+    start = time.perf_counter()
+    for _ in range(null_calls):
+        with obs.phase("bench"):
+            pass
+    null_span_s = (time.perf_counter() - start) / null_calls
+
+    # (b) spans per round, counted by one metrics-recorded round.
+    previous = obs.install(None)
+    try:
+        obs.start("metrics")
+        run_round()
+        counters = obs.metrics().snapshot()["counters"]
+    finally:
+        obs.install(previous)
+    phase_calls = int(sum(
+        value for name, value in counters.items()
+        if name.startswith("phase.") and name.endswith(".count")
+    ))
+
+    # (c) off vs trace arms, order-balanced per repeat.
+    run_round()  # warm-up
+
+    def timed_off():
+        gc.collect()
+        start = time.perf_counter()
+        run_round()
+        return time.perf_counter() - start
+
+    def timed_trace():
+        prev = obs.install(None)
+        try:
+            obs.start("trace")
+            return timed_off()
+        finally:
+            obs.install(prev)
+
+    samples_off, samples_trace = [], []
+    for repeat in range(repeats):
+        if repeat % 2 == 0:
+            samples_off.append(timed_off())
+            samples_trace.append(timed_trace())
+        else:
+            samples_trace.append(timed_trace())
+            samples_off.append(timed_off())
+    off = float(np.median(samples_off))
+    traced = float(np.median(samples_trace))
+    return {
+        "phase_calls_per_round": phase_calls,
+        "null_span_ns": null_span_s * 1e9,
+        "round_seconds_off": off,
+        "round_seconds_trace": traced,
+        "overhead_disabled": phase_calls * null_span_s / off,
+        "overhead_enabled": traced / off - 1.0,
+    }
 
 
 def bench_threads_scaling(
@@ -902,6 +996,7 @@ def run_suite(quick: bool, repeats: int) -> dict:
         "fault_round": {},
         "threads_scaling": {},
         "fused_round": {},
+        "obs_overhead": {},
         "event_throughput": {},
         "sharded_memory": {},
         "gossip_sampled": {},
@@ -945,6 +1040,11 @@ def run_suite(quick: bool, repeats: int) -> dict:
     for n in FUSED_ROUND_COUNTS:
         print(f"n={n:4d}  fused vs unfused D-PSGD mix ...", flush=True)
         report["fused_round"][str(n)] = bench_fused_round(
+            n, max(repeats - 2, 3)
+        )
+    for n in OBS_OVERHEAD_COUNTS:
+        print(f"n={n:4d}  telemetry overhead (off / trace) ...", flush=True)
+        report["obs_overhead"][str(n)] = bench_obs_overhead(
             n, max(repeats - 2, 3)
         )
     print(f"n={EVENT_THROUGHPUT_POPULATION}  calendar vs heap "
@@ -1042,6 +1142,16 @@ def render(report: dict) -> str:
             f"fused {row['fused']:>9.3e}  "
             f"{row['speedup']:>4.2f}x  "
             f"bit_identical={row['bit_identical']}"
+        )
+    for n, row in report["obs_overhead"].items():
+        lines.append(
+            f"{'obs_overhead':>16} {n:>5} "
+            f"off {row['round_seconds_off']:>9.3e}  "
+            f"trace {row['round_seconds_trace']:>9.3e}  "
+            f"disabled {100 * row['overhead_disabled']:>6.3f}%  "
+            f"enabled {100 * row['overhead_enabled']:>+5.1f}%  "
+            f"({row['phase_calls_per_round']} spans, "
+            f"{row['null_span_ns']:.0f} ns null)"
         )
     for n, row in report["event_throughput"].items():
         lines.append(

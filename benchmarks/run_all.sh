@@ -157,6 +157,36 @@ print(
     {n: f"{row['speedup']:.2f}x" for n, row in section.items()},
 )
 
+# Telemetry gate: the disabled path (null recorder) must stay near-free
+# — its analytic bound (measured null-span cost x spans per round, over
+# the round's wall time) at most 2% — and the fully enabled path
+# (metrics registry + Chrome trace) at most 10% against the interleaved
+# off-arm on the n=1024 fused round.
+section = report.get("obs_overhead", {})
+if not section:
+    sys.exit("BENCH_hot_paths.json has no obs_overhead section")
+for n, row in section.items():
+    if row["overhead_disabled"] > 0.02:
+        sys.exit(
+            f"disabled telemetry overhead "
+            f"{100 * row['overhead_disabled']:.2f}% exceeds 2% at n={n} "
+            f"({row['phase_calls_per_round']} spans x "
+            f"{row['null_span_ns']:.0f} ns)"
+        )
+    if row["overhead_enabled"] > 0.10:
+        sys.exit(
+            f"enabled telemetry overhead "
+            f"{100 * row['overhead_enabled']:.1f}% exceeds 10% at n={n}"
+        )
+print(
+    "obs_overhead gate ok:",
+    {
+        n: f"disabled {100 * row['overhead_disabled']:.3f}%, "
+        f"enabled {100 * row['overhead_enabled']:+.1f}%"
+        for n, row in section.items()
+    },
+)
+
 # Calendar-queue gate: on the sampling-storm workload (500k standing
 # renewal events + per-round participant bursts) the bucketed scheduler
 # must clear at least 2x the binary heap's events/s — the headline

@@ -42,9 +42,10 @@ from repro.sim import ConstantCompute, EventEngine, RenewalPopulation
 def _report_memory(algorithm, clients: int, dense_bytes: int) -> int:
     stats = algorithm.arena.stats()
     resident = algorithm.arena.resident_bytes()
-    print(f"arena stats         : {stats}")
+    print(f"arena stats (cumulative, whole run): {stats}")
     print(f"pin telemetry       : peak {stats['peak_pins']} simultaneous "
-          f"pins, {stats['pin_contentions']} pinned-victim skips")
+          f"pins, {stats['pin_contentions']} pinned-victim skips "
+          f"(both whole-run totals)")
     print(f"resident arena bytes: {resident:,} "
           f"({resident / clients:.4f} bytes/enrolled client; dense "
           f"would be {dense_bytes / clients:.0f})")
@@ -134,11 +135,15 @@ def run_gossip(args, task, dense_bytes: int) -> int:
     wall_start = time.perf_counter()
     history = []
     eval_every = max(1, rounds // 4)
+    algorithm.arena.stats_delta()  # baseline: intervals report deltas, not run totals
     for round_index in range(rounds):
         loss = algorithm.run_round(round_index)
         if round_index % eval_every == eval_every - 1 or round_index == rounds - 1:
             val_loss, val_acc = algorithm.evaluate()
-            history.append((round_index, loss, val_loss, val_acc))
+            history.append(
+                (round_index, loss, val_loss, val_acc,
+                 algorithm.arena.stats_delta())
+            )
     wall = time.perf_counter() - wall_start
 
     print()
@@ -149,10 +154,17 @@ def run_gossip(args, task, dense_bytes: int) -> int:
     print(f"clients touched     : {population.touched_clients:,}")
     resident = _report_memory(algorithm, args.clients, dense_bytes)
     print()
-    print("trajectory (round -> streamed-consensus validation accuracy):")
-    for round_index, loss, val_loss, val_acc in history:
+    print("trajectory (round -> streamed-consensus validation accuracy; "
+          "arena flow counters are per-interval deltas):")
+    for round_index, loss, val_loss, val_acc, delta in history:
         print(f"  round {round_index:4d}  acc={val_acc:6.1%}  "
               f"val_loss={val_loss:.3f}  train_loss={loss:.3f}")
+        print(f"    arena Δ: +{delta['misses']} loads, "
+              f"{delta['evictions']} evictions "
+              f"({delta['writebacks']} writebacks, "
+              f"{delta['writeback_bytes']:,} B written back), "
+              f"{delta['hits']} hits, "
+              f"{delta['pin_contentions']} pin contentions")
     _, first_acc = task.evaluate(np.zeros(task.model_size))
     assert history[-1][3] > first_acc, "the sampled gossip run should learn"
     # Unlike the store-free fedavg family, gossip keeps a writeback row

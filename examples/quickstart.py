@@ -7,17 +7,48 @@ Demonstrates the minimal end-to-end path:
 3. run SAPS-PSGD and read accuracy / traffic / communication time.
 
 Run:  python examples/quickstart.py
+      python examples/quickstart.py --obs trace --trace-out trace.json
 """
 
+import argparse
+import json
+
+from repro import obs
 from repro.algorithms import SAPSPSGD
-from repro.analysis import render_table
+from repro.analysis import render_obs_report, render_table
 from repro.data import make_blobs, partition_iid
 from repro.network import SimulatedNetwork, random_uniform_bandwidth
 from repro.nn import MLP
 from repro.sim import ExperimentConfig, run_experiment
 
 
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description="SAPS-PSGD quickstart")
+    parser.add_argument(
+        "--obs", choices=["off", "metrics", "trace"], default="off",
+        help="telemetry mode (never changes the numbers)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None,
+        help="write the metrics snapshot JSON (implies --obs metrics)",
+    )
+    parser.add_argument(
+        "--trace-out", default=None,
+        help="write a Chrome trace-event JSON (implies --obs trace)",
+    )
+    return parser.parse_args()
+
+
 def main() -> None:
+    args = parse_args()
+    obs_mode = args.obs
+    if args.trace_out:
+        obs_mode = "trace"
+    elif args.metrics_out and obs_mode == "off":
+        obs_mode = "metrics"
+    if obs_mode != "off":
+        obs.start(obs_mode)
+
     num_workers = 8
     seed = 1
 
@@ -67,6 +98,20 @@ def main() -> None:
         f"{result.history[-1].worker_traffic_mb:.4f} MB per worker and "
         f"{result.history[-1].comm_time_s:.3f}s of communication."
     )
+
+    if obs_mode != "off":
+        recorder = obs.recorder()
+        snapshot = recorder.registry.snapshot()
+        if args.metrics_out:
+            with open(args.metrics_out, "w") as handle:
+                json.dump(snapshot, handle, indent=2)
+            print(f"\nWrote metrics snapshot to {args.metrics_out}")
+        if args.trace_out and recorder.trace is not None:
+            recorder.trace.write(args.trace_out)
+            print(f"Wrote Chrome trace to {args.trace_out}")
+        print()
+        print(render_obs_report(snapshot))
+        obs.stop()
 
 
 if __name__ == "__main__":

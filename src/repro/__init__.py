@@ -17,6 +17,7 @@ Public API tour
   error feedback.
 * ``repro.theory`` — spectral gap, consensus contraction, Theorem 2.
 * ``repro.analysis`` — Table I cost model, Table IV extraction, rendering.
+* ``repro.obs`` — telemetry: metrics registry, phase spans, Chrome traces.
 
 Quickstart::
 
@@ -35,6 +36,7 @@ from repro import (
     data,
     network,
     nn,
+    obs,
     presets,
     sim,
     theory,
@@ -88,6 +90,7 @@ __all__ = [
     "compression",
     "theory",
     "analysis",
+    "obs",
     "utils",
     "presets",
     "quick_saps_run",

@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.network.transport import SimulatedNetwork
 from repro.nn.arena import ParameterArena, shared_arena
 from repro.utils.rng import SeedLike, as_generator
@@ -124,9 +125,10 @@ class DistributedAlgorithm:
         remains the fallback.  Requires an arena."""
         if self.cluster_trainer is not None:
             return self.cluster_trainer.compute_gradients()
-        return np.array(
-            [worker.compute_gradient()[0] for worker in self.workers]
-        )
+        with obs.phase("compute"):
+            return np.array(
+                [worker.compute_gradient()[0] for worker in self.workers]
+            )
 
     #: Row-block byte budget of the fused update/mix passes — same
     #: rationale as :attr:`repro.sim.cluster.ClusterTrainer.BLOCK_BYTES`:
@@ -170,15 +172,20 @@ class DistributedAlgorithm:
                 # by the block budget instead of the full (n, N) matrix.
                 data[start:stop] -= rates[start:stop, None] * average
 
-            parallel.parallel_map(
-                update_block,
-                parallel.block_ranges(self.num_workers, self._mix_block_rows()),
-            )
+            with obs.phase("mix"):
+                parallel.parallel_map(
+                    update_block,
+                    parallel.block_ranges(
+                        self.num_workers, self._mix_block_rows()
+                    ),
+                    phase="mix.block",
+                )
             for worker in self.workers:
                 worker.steps_taken += 1
         else:
-            for worker in self.workers:
-                worker.apply_gradient(average)
+            with obs.phase("mix"):
+                for worker in self.workers:
+                    worker.apply_gradient(average)
 
     def consensus_model(self) -> np.ndarray:
         """The average model ``X̄ = X·1/n`` — what gets evaluated."""

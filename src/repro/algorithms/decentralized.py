@@ -16,6 +16,7 @@ from typing import Dict, List
 
 import numpy as np
 
+from repro import obs
 from repro.algorithms.base import DistributedAlgorithm
 from repro.compression.base import BYTES_PER_VALUE
 from repro.compression.topk import TopKCompressor
@@ -139,6 +140,7 @@ class DPSGD(DistributedAlgorithm):
         parallel.parallel_map(
             mix_block,
             parallel.block_ranges(self.num_workers, self._mix_block_rows()),
+            phase="mix.block",
         )
         # Barrier passed: every block has read the neighbour rows it
         # needs, so the replica matrix can take the new models.
@@ -147,11 +149,13 @@ class DPSGD(DistributedAlgorithm):
     def run_round(self, round_index: int) -> float:
         if self.arena is not None:
             losses = self._local_gradients_into_arena()
-            self._account_ring_traffic(round_index)
-            if self.fused_mix:
-                self._mix_arena_fused()
-            else:
-                self._mix_arena_unfused()
+            with obs.phase("comm"):
+                self._account_ring_traffic(round_index)
+            with obs.phase("mix"):
+                if self.fused_mix:
+                    self._mix_arena_fused()
+                else:
+                    self._mix_arena_unfused()
             for worker in self.workers:
                 worker.steps_taken += 1
         else:
@@ -161,20 +165,26 @@ class DPSGD(DistributedAlgorithm):
             # detect (subset/reordered workers) would otherwise hand out
             # live row views that later set_params calls mutate mid-loop.
             params = [worker.snapshot_params() for worker in self.workers]
-            for worker in self.workers:
-                loss, gradient = worker.compute_gradient()
-                losses.append(loss)
-                gradients.append(gradient)
-            self._account_ring_traffic(round_index)
+            with obs.phase("compute"):
+                for worker in self.workers:
+                    loss, gradient = worker.compute_gradient()
+                    losses.append(loss)
+                    gradients.append(gradient)
+            with obs.phase("comm"):
+                self._account_ring_traffic(round_index)
 
-            for rank, worker in enumerate(self.workers):
-                neighbors = self._ring_neighbors(rank)
-                mixed = self.gossip[rank, rank] * params[rank]
-                for neighbor in neighbors:
-                    mixed = mixed + self.gossip[rank, neighbor] * params[neighbor]
-                lr = worker.optimizer.lr
-                worker.set_params(mixed - lr * gradients[rank])
-                worker.steps_taken += 1
+            with obs.phase("mix"):
+                for rank, worker in enumerate(self.workers):
+                    neighbors = self._ring_neighbors(rank)
+                    mixed = self.gossip[rank, rank] * params[rank]
+                    for neighbor in neighbors:
+                        mixed = (
+                            mixed
+                            + self.gossip[rank, neighbor] * params[neighbor]
+                        )
+                    lr = worker.optimizer.lr
+                    worker.set_params(mixed - lr * gradients[rank])
+                    worker.steps_taken += 1
         self.network.finish_round()
         return float(np.mean(losses))
 
@@ -226,10 +236,11 @@ class DCDPSGD(DPSGD):
         else:
             losses = []
             gradients = []
-            for worker in self.workers:
-                loss, gradient = worker.compute_gradient()
-                losses.append(loss)
-                gradients.append(gradient)
+            with obs.phase("compute"):
+                for worker in self.workers:
+                    loss, gradient = worker.compute_gradient()
+                    losses.append(loss)
+                    gradients.append(gradient)
 
         # Phase 1: local updates from replicas; collect the model deltas
         # as one (n, N) matrix, then compress all rows in a single
@@ -239,32 +250,40 @@ class DCDPSGD(DPSGD):
             (self.num_workers, self.model_size),
             dtype=self.workers[0].model.dtype,
         )
-        for rank, worker in enumerate(self.workers):
-            mixed = self.gossip[rank, rank] * self.replicas[rank][rank]
-            for neighbor in self._ring_neighbors(rank):
-                mixed = mixed + self.gossip[rank, neighbor] * self.replicas[rank][neighbor]
-            lr = worker.optimizer.lr
-            new_params = mixed - lr * gradients[rank]
-            worker.set_params(new_params)
-            worker.steps_taken += 1
-            delta_matrix[rank] = new_params - self.replicas[rank][rank]
-        batch = self.compressor.compress_matrix(delta_matrix, round_index)
-        deltas = batch.to_dense(self.model_size)
-        payload_bytes = batch.row_bytes()
+        with obs.phase("mix"):
+            for rank, worker in enumerate(self.workers):
+                mixed = self.gossip[rank, rank] * self.replicas[rank][rank]
+                for neighbor in self._ring_neighbors(rank):
+                    mixed = (
+                        mixed
+                        + self.gossip[rank, neighbor]
+                        * self.replicas[rank][neighbor]
+                    )
+                lr = worker.optimizer.lr
+                new_params = mixed - lr * gradients[rank]
+                worker.set_params(new_params)
+                worker.steps_taken += 1
+                delta_matrix[rank] = new_params - self.replicas[rank][rank]
 
         # Phase 2: everyone integrates the same deltas into replicas.
-        for rank in range(self.num_workers):
-            self.replicas[rank][rank] += deltas[rank]
-            for neighbor in self._ring_neighbors(rank):
-                self.replicas[neighbor][rank] += deltas[rank]
-                self.network.meter.record(
-                    round_index, rank, neighbor, payload_bytes[rank]
-                )
-                if self.network.bandwidth is not None:
-                    self.network.timer.add_transfer(
-                        payload_bytes[rank],
-                        self._ring_link_bandwidth(rank, neighbor),
-                        endpoints=self.network.link_endpoints(rank, neighbor),
+        with obs.phase("comm"):
+            batch = self.compressor.compress_matrix(delta_matrix, round_index)
+            deltas = batch.to_dense(self.model_size)
+            payload_bytes = batch.row_bytes()
+            for rank in range(self.num_workers):
+                self.replicas[rank][rank] += deltas[rank]
+                for neighbor in self._ring_neighbors(rank):
+                    self.replicas[neighbor][rank] += deltas[rank]
+                    self.network.meter.record(
+                        round_index, rank, neighbor, payload_bytes[rank]
                     )
+                    if self.network.bandwidth is not None:
+                        self.network.timer.add_transfer(
+                            payload_bytes[rank],
+                            self._ring_link_bandwidth(rank, neighbor),
+                            endpoints=self.network.link_endpoints(
+                                rank, neighbor
+                            ),
+                        )
         self.network.finish_round()
         return float(np.mean(losses))

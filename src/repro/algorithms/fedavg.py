@@ -17,6 +17,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.algorithms.base import DistributedAlgorithm
 from repro.compression.base import BYTES_PER_INDEX, BYTES_PER_VALUE
 from repro.compression.topk import k_for
@@ -99,6 +100,12 @@ class FedAvg(DistributedAlgorithm):
 
     def _account(self, round_index: int, selected: List[int], upload_bytes: int) -> None:
         """Dense download + (possibly sparse) upload per selected worker."""
+        with obs.phase("comm"):
+            self._account_inner(round_index, selected, upload_bytes)
+
+    def _account_inner(
+        self, round_index: int, selected: List[int], upload_bytes: int
+    ) -> None:
         model_bytes = self.model_size * BYTES_PER_VALUE
         for rank in selected:
             self.network.meter.record(
@@ -145,11 +152,12 @@ class FedAvg(DistributedAlgorithm):
             )
         else:
             losses = []
-            for rank in selected:
-                worker = self.workers[rank]
-                worker.set_params(self.global_model)
-                for _ in range(self.local_steps):
-                    losses.append(worker.local_step())
+            with obs.phase("compute"):
+                for rank in selected:
+                    worker = self.workers[rank]
+                    worker.set_params(self.global_model)
+                    for _ in range(self.local_steps):
+                        losses.append(worker.local_step())
         if self.arena is not None:
             # Server-side average straight off the replica matrix rows.
             self.global_model = self.arena.data[selected].mean(axis=0)
@@ -215,12 +223,13 @@ class SparseFedAvg(FedAvg):
         else:
             losses = []
             uploads = []
-            for rank in selected:
-                worker = self.workers[rank]
-                worker.set_params(self.global_model)
-                for _ in range(self.local_steps):
-                    losses.append(worker.local_step())
-                uploads.append(worker.get_params())
+            with obs.phase("compute"):
+                for rank in selected:
+                    worker = self.workers[rank]
+                    worker.set_params(self.global_model)
+                    for _ in range(self.local_steps):
+                        losses.append(worker.local_step())
+                    uploads.append(worker.get_params())
         for upload in uploads:
             delta = upload - self.global_model
             # Random-k mask on the *update* (structured/random updates of

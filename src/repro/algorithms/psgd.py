@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.algorithms.base import DistributedAlgorithm
 from repro.compression.base import BYTES_PER_VALUE
 from repro.compression.error_feedback import BatchedErrorFeedback, ErrorFeedback
@@ -35,24 +36,29 @@ class PSGD(DistributedAlgorithm):
         else:
             losses = []
             gradients = []
-            for worker in self.workers:
-                loss, gradient = worker.compute_gradient()
-                losses.append(loss)
-                gradients.append(gradient)
+            with obs.phase("compute"):
+                for worker in self.workers:
+                    loss, gradient = worker.compute_gradient()
+                    losses.append(loss)
+                    gradients.append(gradient)
             average = np.mean(gradients, axis=0)
         self._apply_average_gradient(average)
 
         # Ring all-reduce accounting: each worker exchanges ~2N values per
         # round regardless of n (sends N to its successor, receives N from
         # its predecessor — Table I's 2NT worker cost).
-        n = self.num_workers
-        model_bytes = self.model_size * BYTES_PER_VALUE
-        for i in range(n):
-            self.network.meter.record(round_index, i, (i + 1) % n, model_bytes)
-        bottleneck = self.min_link_bandwidth()
-        if bottleneck is not None:
-            # The collective moves 2N per worker gated by the slowest link.
-            self.network.timer.add_transfer(2 * model_bytes, bottleneck)
+        with obs.phase("comm"):
+            n = self.num_workers
+            model_bytes = self.model_size * BYTES_PER_VALUE
+            for i in range(n):
+                self.network.meter.record(
+                    round_index, i, (i + 1) % n, model_bytes
+                )
+            bottleneck = self.min_link_bandwidth()
+            if bottleneck is not None:
+                # The collective moves 2N per worker gated by the
+                # slowest link.
+                self.network.timer.add_transfer(2 * model_bytes, bottleneck)
         self.network.finish_round()
         return float(np.mean(losses))
 
@@ -106,28 +112,32 @@ class TopKPSGD(DistributedAlgorithm):
             losses = []
             dense_contributions = []
             payload_bytes = []
-            for worker, feedback in zip(self.workers, self._feedback):
-                loss, gradient = worker.compute_gradient()
-                losses.append(loss)
-                payload, dense_sent = feedback.compress(gradient, round_index)
-                dense_contributions.append(dense_sent)
-                payload_bytes.append(payload.num_bytes())
+            with obs.phase("compute"):
+                for worker, feedback in zip(self.workers, self._feedback):
+                    loss, gradient = worker.compute_gradient()
+                    losses.append(loss)
+                    payload, dense_sent = feedback.compress(
+                        gradient, round_index
+                    )
+                    dense_contributions.append(dense_sent)
+                    payload_bytes.append(payload.num_bytes())
             average = np.mean(dense_contributions, axis=0)
         self._apply_average_gradient(average)
 
         # Allgather: every worker ships its sparse gradient to the other
         # n-1 workers (and receives n-1 sparse gradients).
-        n = self.num_workers
-        for i in range(n):
-            for j in range(n):
-                if i != j:
-                    self.network.meter.record(
-                        round_index, i, j, payload_bytes[i]
-                    )
-        bottleneck = self.min_link_bandwidth()
-        if bottleneck is not None:
-            # A worker's NIC serializes its n-1 uploads.
-            worst = max(payload_bytes)
-            self.network.timer.add_transfer((n - 1) * worst, bottleneck)
+        with obs.phase("comm"):
+            n = self.num_workers
+            for i in range(n):
+                for j in range(n):
+                    if i != j:
+                        self.network.meter.record(
+                            round_index, i, j, payload_bytes[i]
+                        )
+            bottleneck = self.min_link_bandwidth()
+            if bottleneck is not None:
+                # A worker's NIC serializes its n-1 uploads.
+                worst = max(payload_bytes)
+                self.network.timer.add_transfer((n - 1) * worst, bottleneck)
         self.network.finish_round()
         return float(np.mean(losses))

@@ -22,6 +22,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.algorithms.base import DistributedAlgorithm
 from repro.compression.base import SharedMaskPayload
 from repro.compression.random_mask import RandomMaskCompressor, generate_mask
@@ -238,12 +239,13 @@ class SAPSPSGD(DistributedAlgorithm):
                 ranks=None if active.all() else active_ranks,
             )
         else:
-            losses = [
-                worker.local_step()
-                for worker, is_up in zip(self.workers, active)
-                if is_up
-                for _ in range(self.local_steps)
-            ]
+            with obs.phase("compute"):
+                losses = [
+                    worker.local_step()
+                    for worker, is_up in zip(self.workers, active)
+                    if is_up
+                    for _ in range(self.local_steps)
+                ]
 
         # Loss-model filtering first (same RNG consumption order as the
         # historical per-pair loop): surviving pairs actually exchange.
@@ -265,49 +267,57 @@ class SAPSPSGD(DistributedAlgorithm):
             # fancy-indexed read; the merge averages the matched blocks
             # and scatters back.  Bit-identical to the per-pair path.
             if pairs:
-                if gathered is not None:
-                    # Fused path: values were gathered during the update
-                    # pass — bit-identical to re-reading the arena here.
-                    batch = self.compressor.batch_from_values(
-                        gathered, mask_indices, plan.mask_seed
-                    )
-                else:
-                    batch = self.compressor.compress_matrix_with_seed(
-                        self.arena.data, plan.mask_seed
-                    )
-                indices, values = batch.indices, batch.values
-                pair_array = np.asarray(pairs, dtype=np.int64)
-                left, right = pair_array[:, 0], pair_array[:, 1]
-                replicas = self.arena.data
-                for a, b in pairs:
-                    self.network.exchange(
-                        round_index, a, b, batch[a], batch[b]
-                    )
-                averaged = 0.5 * (values[left] + values[right])
-                replicas[np.ix_(left, indices)] = averaged
-                replicas[np.ix_(right, indices)] = averaged
+                with obs.phase("comm"):
+                    if gathered is not None:
+                        # Fused path: values were gathered during the
+                        # update pass — bit-identical to re-reading the
+                        # arena here.
+                        batch = self.compressor.batch_from_values(
+                            gathered, mask_indices, plan.mask_seed,
+                            model_size=self.model_size,
+                        )
+                    else:
+                        batch = self.compressor.compress_matrix_with_seed(
+                            self.arena.data, plan.mask_seed
+                        )
+                    indices, values = batch.indices, batch.values
+                    pair_array = np.asarray(pairs, dtype=np.int64)
+                    left, right = pair_array[:, 0], pair_array[:, 1]
+                    replicas = self.arena.data
+                    for a, b in pairs:
+                        self.network.exchange(
+                            round_index, a, b, batch[a], batch[b]
+                        )
+                    averaged = 0.5 * (values[left] + values[right])
+                    replicas[np.ix_(left, indices)] = averaged
+                    replicas[np.ix_(right, indices)] = averaged
         else:
             # Fallback: per-worker mask application and pairwise Eq. (7)
             # merge over per-model flat copies.
-            mask = generate_mask(
-                self.model_size, self.compression_ratio, plan.mask_seed
-            )
-            indices = np.flatnonzero(mask)
-            for a, b in pairs:
-                params_a = self.workers[a].get_params()
-                params_b = self.workers[b].get_params()
-                payload_a = SharedMaskPayload(
-                    values=params_a[indices], indices=indices, mask_seed=plan.mask_seed
+            with obs.phase("comm"):
+                mask = generate_mask(
+                    self.model_size, self.compression_ratio, plan.mask_seed
                 )
-                payload_b = SharedMaskPayload(
-                    values=params_b[indices], indices=indices, mask_seed=plan.mask_seed
-                )
-                self.network.exchange(round_index, a, b, payload_a, payload_b)
-                averaged = 0.5 * (params_a[indices] + params_b[indices])
-                params_a[indices] = averaged
-                params_b[indices] = averaged
-                self.workers[a].set_params(params_a)
-                self.workers[b].set_params(params_b)
+                indices = np.flatnonzero(mask)
+                for a, b in pairs:
+                    params_a = self.workers[a].get_params()
+                    params_b = self.workers[b].get_params()
+                    payload_a = SharedMaskPayload(
+                        values=params_a[indices], indices=indices,
+                        mask_seed=plan.mask_seed,
+                    )
+                    payload_b = SharedMaskPayload(
+                        values=params_b[indices], indices=indices,
+                        mask_seed=plan.mask_seed,
+                    )
+                    self.network.exchange(
+                        round_index, a, b, payload_a, payload_b
+                    )
+                    averaged = 0.5 * (params_a[indices] + params_b[indices])
+                    params_a[indices] = averaged
+                    params_b[indices] = averaged
+                    self.workers[a].set_params(params_a)
+                    self.workers[b].set_params(params_b)
 
         if self.network.bandwidth is not None:
             self.round_bandwidths.append(

@@ -53,6 +53,15 @@ from repro.analysis.timeline import (
     time_to_accuracy_table,
     worker_timeline,
 )
+from repro.analysis.obsreport import (
+    PhaseRow,
+    obs_worker_timeline,
+    phase_table,
+    render_obs_report,
+    render_phase_table,
+    render_top_counters,
+    top_counters,
+)
 
 __all__ = [
     "CostModel",
@@ -96,4 +105,11 @@ __all__ = [
     "render_worker_resilience",
     "degradation_report",
     "render_degradation",
+    "PhaseRow",
+    "phase_table",
+    "render_phase_table",
+    "top_counters",
+    "render_top_counters",
+    "obs_worker_timeline",
+    "render_obs_report",
 ]

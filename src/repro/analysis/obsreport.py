@@ -1,0 +1,180 @@
+"""Run profiles from recorded telemetry (:mod:`repro.obs`) snapshots.
+
+A :meth:`~repro.obs.registry.MetricsRegistry.snapshot` — live, or loaded
+back from a ``--metrics-out`` JSON file — is enough to reconstruct the
+reports the engines print from their in-memory state:
+
+* :func:`phase_table` — where the wall time went, per ``phase.*`` span
+  family (total vs self time, call counts, share of the run);
+* :func:`top_counters` — the largest non-phase counters (traffic,
+  compression savings, exchange outcomes, arena residency churn);
+* :func:`obs_worker_timeline` — the per-worker compute/comm/idle
+  breakdown of :func:`repro.analysis.timeline.worker_timeline`,
+  rebuilt from the ``worker.<rank>.*`` counters and the ``run.horizon_s``
+  gauge alone.  Same formulas (``busy = compute + comm``,
+  ``idle = max(horizon − busy, 0)``, ``utilization = min(busy/horizon,
+  1)``), so the two reports can never disagree on a recorded run.
+
+``render_obs_report`` stitches all three into the one-screen profile the
+CLI prints after an instrumented run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.tables import render_table
+from repro.analysis.timeline import WorkerTimeline
+
+
+@dataclass
+class PhaseRow:
+    """One span family's aggregate timing."""
+
+    name: str
+    count: int
+    total_s: float
+    self_s: float
+    share: float  # fraction of the summed self time across all phases
+
+
+def phase_table(snapshot: Dict) -> List[PhaseRow]:
+    """Per-phase timing rows from a registry snapshot, largest self first.
+
+    ``share`` is each phase's fraction of the *self*-time sum — self
+    times are disjoint by construction (a span's self time excludes its
+    children), so the shares add to 1 without double counting nests.
+    """
+    counters = snapshot.get("counters", {})
+    names = sorted(
+        key[len("phase."):-len(".total_s")]
+        for key in counters
+        if key.startswith("phase.") and key.endswith(".total_s")
+    )
+    self_sum = sum(
+        counters.get(f"phase.{name}.self_s", 0.0) for name in names
+    )
+    rows = [
+        PhaseRow(
+            name=name,
+            count=int(counters.get(f"phase.{name}.count", 0)),
+            total_s=float(counters.get(f"phase.{name}.total_s", 0.0)),
+            self_s=float(counters.get(f"phase.{name}.self_s", 0.0)),
+            share=(
+                float(counters.get(f"phase.{name}.self_s", 0.0)) / self_sum
+                if self_sum > 0
+                else 0.0
+            ),
+        )
+        for name in names
+    ]
+    rows.sort(key=lambda row: row.self_s, reverse=True)
+    return rows
+
+
+def render_phase_table(rows: List[PhaseRow]) -> str:
+    if not rows:
+        raise ValueError("rows must not be empty")
+    table = [
+        [
+            row.name,
+            row.count,
+            round(row.total_s, 4),
+            round(row.self_s, 4),
+            f"{100 * row.share:.1f}%",
+        ]
+        for row in rows
+    ]
+    return render_table(
+        ["phase", "count", "total [s]", "self [s]", "share"],
+        table,
+        title="Phase time breakdown",
+    )
+
+
+def top_counters(snapshot: Dict, limit: int = 10) -> List[List]:
+    """The ``limit`` largest non-phase, non-worker counters.
+
+    Phase timings get their own table and the per-worker mirrors feed
+    :func:`obs_worker_timeline`; everything else (traffic, compression,
+    exchange outcomes, arena churn) ranks here by magnitude.
+    """
+    if limit < 1:
+        raise ValueError(f"limit must be >= 1, got {limit}")
+    counters = snapshot.get("counters", {})
+    rows = [
+        [name, value]
+        for name, value in counters.items()
+        if not name.startswith("phase.") and not name.startswith("worker.")
+    ]
+    rows.sort(key=lambda row: abs(row[1]), reverse=True)
+    return [[name, round(value, 4)] for name, value in rows[:limit]]
+
+
+def render_top_counters(rows: List[List]) -> str:
+    if not rows:
+        raise ValueError("rows must not be empty")
+    return render_table(["counter", "value"], rows, title="Top counters")
+
+
+def obs_worker_timeline(snapshot: Dict) -> List[WorkerTimeline]:
+    """Rebuild :func:`repro.analysis.timeline.worker_timeline` rows from
+    a metrics snapshot alone.
+
+    Requires the ``run.horizon_s`` gauge and the ``worker.<rank>.*``
+    counters that :func:`repro.obs.record_worker_timeline` mirrors at
+    the end of an instrumented engine run.
+    """
+    gauges = snapshot.get("gauges", {})
+    counters = snapshot.get("counters", {})
+    horizon = float(gauges.get("run.horizon_s", 0.0))
+    if horizon <= 0:
+        raise ValueError(
+            "snapshot has no positive run.horizon_s gauge — was the run "
+            "recorded with telemetry enabled on a timed engine?"
+        )
+    workers = sorted(
+        int(key.split(".")[1])
+        for key in counters
+        if key.startswith("worker.") and key.endswith(".compute_s")
+    )
+    if not workers:
+        raise ValueError("snapshot has no worker.<rank>.compute_s counters")
+    rows = []
+    for worker in workers:
+        compute = float(counters.get(f"worker.{worker}.compute_s", 0.0))
+        comm = float(counters.get(f"worker.{worker}.comm_s", 0.0))
+        busy = compute + comm
+        rows.append(
+            WorkerTimeline(
+                worker=worker,
+                compute_s=compute,
+                comm_s=comm,
+                idle_s=float(max(horizon - busy, 0.0)),
+                utilization=float(min(busy / horizon, 1.0)),
+            )
+        )
+    return rows
+
+
+def render_obs_report(snapshot: Dict, top: int = 10) -> str:
+    """The one-screen profile: phases, top counters, worker utilization."""
+    sections = []
+    phases = phase_table(snapshot)
+    if phases:
+        sections.append(render_phase_table(phases))
+    counters = top_counters(snapshot, limit=top)
+    if counters:
+        sections.append(render_top_counters(counters))
+    try:
+        timeline_rows = obs_worker_timeline(snapshot)
+    except ValueError:
+        timeline_rows = []
+    if timeline_rows:
+        from repro.analysis.timeline import render_worker_timeline
+
+        sections.append(render_worker_timeline(timeline_rows))
+    if not sections:
+        return "(no telemetry recorded)"
+    return "\n\n".join(sections)

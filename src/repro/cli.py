@@ -553,6 +553,24 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--samples-per-worker", type=int, default=60)
         p.add_argument("--validation-samples", type=int, default=200)
         p.add_argument("--output", type=str, default=None)
+        p.add_argument(
+            "--obs", choices=["off", "metrics", "trace"], default="off",
+            help="telemetry: 'metrics' records counters/histograms, "
+            "'trace' additionally captures a Chrome trace of phase spans "
+            "(wall-time lanes per thread, simulated-time lanes per "
+            "worker).  Never changes numerics — 'off' (default) is the "
+            "zero-overhead null recorder",
+        )
+        p.add_argument(
+            "--metrics-out", type=str, default=None,
+            help="write the recorded metrics snapshot as JSON "
+            "(implies --obs metrics)",
+        )
+        p.add_argument(
+            "--trace-out", type=str, default=None,
+            help="write the recorded Chrome trace-event JSON — load in "
+            "chrome://tracing or Perfetto (implies --obs trace)",
+        )
 
     run_p = sub.add_parser("run", help="run one algorithm")
     run_p.add_argument(
@@ -698,6 +716,42 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _resolve_obs_mode(args) -> str:
+    """Effective telemetry mode: output paths imply the mode they need."""
+    mode = getattr(args, "obs", "off")
+    if getattr(args, "trace_out", None):
+        mode = "trace"
+    elif getattr(args, "metrics_out", None) and mode == "off":
+        mode = "metrics"
+    return mode
+
+
+def _finish_obs(args, mode: str) -> None:
+    """Write requested telemetry outputs and print the run profile."""
+    import json
+
+    from repro import obs
+
+    recorder = obs.recorder()
+    registry = recorder.registry
+    if registry is None:
+        return
+    snapshot = registry.snapshot()
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        with open(metrics_out, "w") as handle:
+            json.dump(snapshot, handle, indent=2)
+        print(f"\nWrote metrics snapshot to {metrics_out}")
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out and recorder.trace is not None:
+        recorder.trace.write(trace_out)
+        print(f"Wrote Chrome trace to {trace_out} (open in chrome://tracing)")
+    from repro.analysis import render_obs_report
+
+    print()
+    print(render_obs_report(snapshot))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if getattr(args, "num_threads", None) is not None:
@@ -705,7 +759,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.utils import parallel
 
         parallel.set_num_threads(args.num_threads)
-    return args.func(args)
+    obs_mode = _resolve_obs_mode(args)
+    if obs_mode == "off":
+        return args.func(args)
+    from repro import obs
+
+    obs.start(obs_mode)
+    try:
+        status = args.func(args)
+        _finish_obs(args, obs_mode)
+        return status
+    finally:
+        obs.stop()
 
 
 if __name__ == "__main__":

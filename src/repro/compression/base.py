@@ -210,6 +210,27 @@ def check_matrix(matrix: np.ndarray) -> np.ndarray:
     return matrix
 
 
+def record_batch_metrics(matrix: np.ndarray, batch: BatchPayload) -> None:
+    """Account one round's compression savings in the metrics registry.
+
+    ``compression.bytes_dense`` is what the round would have shipped
+    uncompressed (``n·N`` values at wire width); ``bytes_wire`` is what
+    the batch actually weighs; ``bytes_saved`` their difference.  No-op
+    (one attribute read) when telemetry is off, and never touches the
+    payloads' numeric content.
+    """
+    from repro import obs
+
+    registry = obs.metrics()
+    if registry is None:
+        return
+    dense = int(matrix.size) * BYTES_PER_VALUE
+    wire = int(batch.num_bytes())
+    registry.inc("compression.bytes_dense", float(dense))
+    registry.inc("compression.bytes_wire", float(wire))
+    registry.inc("compression.bytes_saved", float(dense - wire))
+
+
 class Compressor:
     """Interface: ``compress`` a vector into a payload.
 
@@ -236,9 +257,11 @@ class Compressor:
         interchangeable.
         """
         matrix = check_matrix(matrix)
-        return BatchPayload(
+        batch = BatchPayload(
             payloads=[self.compress(row, round_index) for row in matrix]
         )
+        record_batch_metrics(matrix, batch)
+        return batch
 
 
 class NoCompression(Compressor):
@@ -256,7 +279,9 @@ class NoCompression(Compressor):
     ) -> BatchPayload:
         matrix = check_matrix(matrix)
         copied = matrix.copy()
-        return BatchPayload(
+        batch = BatchPayload(
             payloads=[DensePayload(values=row) for row in copied],
             values=copied,
         )
+        record_batch_metrics(matrix, batch)
+        return batch

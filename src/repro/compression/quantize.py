@@ -20,6 +20,7 @@ from repro.compression.base import (
     Compressor,
     QuantizedPayload,
     check_matrix,
+    record_batch_metrics,
 )
 from repro.utils.rng import SeedLike, as_generator
 
@@ -117,13 +118,15 @@ class QuantizeCompressor(Compressor):
             dequantized = quantize_stochastic_matrix(
                 matrix, self.bits, self._rng, scales=scales
             )
-            return BatchPayload(
+            batch = BatchPayload(
                 payloads=[
                     QuantizedPayload(values=dequantized[row], bits=self.bits)
                     for row in range(matrix.shape[0])
                 ],
                 values=dequantized,
             )
+            record_batch_metrics(matrix, batch)
+            return batch
         # All-zero rows consume no generator draws on the per-row path;
         # fall back so batched and per-row streams stay interchangeable.
         return super().compress_matrix(matrix, round_index)

@@ -15,6 +15,7 @@ from repro.compression.base import (
     Compressor,
     SharedMaskPayload,
     check_matrix,
+    record_batch_metrics,
 )
 from repro.utils.validation import check_positive
 
@@ -87,7 +88,11 @@ class RandomMaskCompressor(Compressor):
         return self.compress_matrix_with_seed(matrix, self._seed)
 
     def batch_from_values(
-        self, values: np.ndarray, indices: np.ndarray, seed: int
+        self,
+        values: np.ndarray,
+        indices: np.ndarray,
+        seed: int,
+        model_size: int | None = None,
     ) -> BatchPayload:
         """Assemble the round's :class:`BatchPayload` from pre-gathered
         components.
@@ -102,7 +107,7 @@ class RandomMaskCompressor(Compressor):
         kept positions of ``seed``'s mask.
         """
         values = check_matrix(values)
-        return BatchPayload(
+        batch = BatchPayload(
             payloads=[
                 SharedMaskPayload(
                     values=values[row], indices=indices, mask_seed=int(seed)
@@ -112,6 +117,21 @@ class RandomMaskCompressor(Compressor):
             values=values,
             indices=indices,
         )
+        # Dense reference: the fused gather never materializes the
+        # (n, N) read, so the caller passes ``model_size`` for parity
+        # with :meth:`compress_matrix_with_seed`'s accounting.
+        if model_size is not None:
+            from repro import obs
+            from repro.compression.base import BYTES_PER_VALUE
+
+            registry = obs.metrics()
+            if registry is not None:
+                dense = values.shape[0] * int(model_size) * BYTES_PER_VALUE
+                wire = int(batch.num_bytes())
+                registry.inc("compression.bytes_dense", float(dense))
+                registry.inc("compression.bytes_wire", float(wire))
+                registry.inc("compression.bytes_saved", float(dense - wire))
+        return batch
 
     def compress_matrix_with_seed(
         self, matrix: np.ndarray, seed: int
@@ -128,7 +148,7 @@ class RandomMaskCompressor(Compressor):
         mask = generate_mask(matrix.shape[1], self._ratio, seed)
         indices = np.flatnonzero(mask)
         values = matrix[:, indices]
-        return BatchPayload(
+        batch = BatchPayload(
             payloads=[
                 SharedMaskPayload(
                     values=values[row], indices=indices, mask_seed=int(seed)
@@ -138,3 +158,5 @@ class RandomMaskCompressor(Compressor):
             values=values,
             indices=indices,
         )
+        record_batch_metrics(matrix, batch)
+        return batch

@@ -20,6 +20,7 @@ from repro.compression.base import (
     Compressor,
     IndexedPayload,
     check_matrix,
+    record_batch_metrics,
 )
 from repro.utils import parallel
 from repro.utils.rng import SeedLike, as_generator
@@ -131,7 +132,7 @@ class TopKCompressor(Compressor):
         matrix = check_matrix(matrix)
         indices = top_k_indices_matrix(matrix, self.k_for(matrix.shape[1]))
         values = np.take_along_axis(matrix, indices, axis=1)
-        return BatchPayload(
+        batch = BatchPayload(
             payloads=[
                 IndexedPayload(values=values[row], indices=indices[row])
                 for row in range(matrix.shape[0])
@@ -139,6 +140,8 @@ class TopKCompressor(Compressor):
             values=values,
             indices=indices,
         )
+        record_batch_metrics(matrix, batch)
+        return batch
 
 
 class RandomKCompressor(Compressor):
@@ -178,7 +181,7 @@ class RandomKCompressor(Compressor):
             else np.zeros((0, k_for(size, self._ratio)), dtype=np.int64)
         )
         values = np.take_along_axis(matrix, indices, axis=1)
-        return BatchPayload(
+        batch = BatchPayload(
             payloads=[
                 IndexedPayload(values=values[row], indices=indices[row])
                 for row in range(num_rows)
@@ -186,6 +189,8 @@ class RandomKCompressor(Compressor):
             values=values,
             indices=indices,
         )
+        record_batch_metrics(matrix, batch)
+        return batch
 
     def _draw_indices(self, size: int) -> np.ndarray:
         k = k_for(size, self._ratio)

@@ -43,6 +43,12 @@ class TrafficMeter:
         self.records: List[TransferRecord] = []
         self._sent = np.zeros(num_workers + 1, dtype=np.float64)
         self._received = np.zeros(num_workers + 1, dtype=np.float64)
+        #: Running totals, kept O(1) so the telemetry layer
+        #: (``network.bytes_wire`` / ``network.transfers`` in
+        #: :mod:`repro.obs`) can mirror them every round without
+        #: walking :attr:`records`.
+        self.total_bytes = 0
+        self.num_transfers = 0
 
     def _slot(self, node: int) -> int:
         if node == self.SERVER:
@@ -62,6 +68,8 @@ class TrafficMeter:
         )
         self._sent[self._slot(sender)] += num_bytes
         self._received[self._slot(receiver)] += num_bytes
+        self.total_bytes += num_bytes
+        self.num_transfers += 1
 
     # ------------------------------------------------------------------
     # queries
@@ -91,7 +99,7 @@ class TrafficMeter:
 
     def total_traffic_mb(self) -> float:
         """All bytes that crossed the network, in MB."""
-        return float(sum(r.num_bytes for r in self.records)) / MB
+        return float(self.total_bytes) / MB
 
 
 class CommunicationTimer:

@@ -106,6 +106,9 @@ class ShardedArena(ParameterArena):
         self.misses = 0
         self.evictions = 0
         self.writebacks = 0
+        #: Bytes copied into the writeback store by evictions — the
+        #: actual I/O cost of LRU churn (``arena.writeback_bytes``).
+        self.writeback_bytes = 0
         #: Pin-contention: evict-candidate scans that had to skip an
         #: already-pinned LRU row (a gossip exchange or participation
         #: holding it resident).  Rising fast relative to ``misses``
@@ -174,6 +177,7 @@ class ShardedArena(ParameterArena):
         if self.retain_evicted:
             self._store[victim] = self.data[slot].copy()
             self.writebacks += 1
+            self.writeback_bytes += self.data[slot].nbytes
         self.evictions += 1
         return slot
 
@@ -225,6 +229,7 @@ class ShardedArena(ParameterArena):
         if self.retain_evicted:
             self._store[client] = self.data[slot].copy()
             self.writebacks += 1
+            self.writeback_bytes += self.data[slot].nbytes
         self.evictions += 1
         self._free.append(slot)
 
@@ -292,11 +297,40 @@ class ShardedArena(ParameterArena):
             "misses": self.misses,
             "evictions": self.evictions,
             "writebacks": self.writebacks,
+            "writeback_bytes": self.writeback_bytes,
             "pin_contentions": self.pin_contentions,
             "peak_pins": self.peak_pins,
             "resident": self.resident_clients,
             "stored": self.stored_clients,
         }
+
+    #: Counter (flow) keys of :meth:`stats` — the keys ``stats_delta``
+    #: differences; the rest (``peak_pins``, ``resident``, ``stored``)
+    #: are levels and pass through as-is.
+    _FLOW_KEYS = (
+        "hits",
+        "misses",
+        "evictions",
+        "writebacks",
+        "writeback_bytes",
+        "pin_contentions",
+    )
+
+    def stats_delta(self) -> Dict[str, int]:
+        """:meth:`stats` since the previous ``stats_delta`` call.
+
+        Flow counters (hits/misses/evictions/writebacks/bytes/
+        contentions) come back as deltas; level fields (``resident``,
+        ``stored``, ``peak_pins``) keep their current values.  The first
+        call baselines against zero, i.e. returns the cumulative stats.
+        """
+        stats = self.stats()
+        base = getattr(self, "_stats_base", None) or {}
+        delta = dict(stats)
+        for key in self._FLOW_KEYS:
+            delta[key] = stats[key] - base.get(key, 0)
+        self._stats_base = {key: stats[key] for key in self._FLOW_KEYS}
+        return delta
 
     # ------------------------------------------------------------------
     # dense-only operations: loud errors in sampled mode

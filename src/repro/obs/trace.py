@@ -1,0 +1,191 @@
+"""Chrome trace-event output: one lane per worker/thread.
+
+:class:`TraceRecorder` accumulates complete-duration (``"ph": "X"``)
+events in two process groups:
+
+* **pid 0 — wall time**: one lane per OS thread, fed by
+  :meth:`add_wall_span` from the phase timers.  Timestamps are
+  microseconds since the recorder's epoch (its construction time).
+* **pid 1 — simulated time**: one lane per worker rank, fed by
+  :meth:`add_sim_span` from the event engine's :class:`EventTrace`
+  (which forwards every interval here when a trace sink is attached).
+  Timestamps are simulated seconds scaled to microseconds, so a
+  1-second simulated round reads as 1s in the viewer.
+
+The emitted file loads directly in ``chrome://tracing`` or
+https://ui.perfetto.dev.  :func:`validate_trace` is the schema check
+the CI smoke job runs against emitted files: non-empty, required keys,
+non-negative durations, and monotone timestamps per lane.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from time import perf_counter
+from typing import Dict, List
+
+WALL_PID = 0
+SIM_PID = 1
+
+
+class TraceRecorder:
+    """Accumulates Chrome trace events; thread-safe."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.events: List[Dict] = []
+        self._meta: List[Dict] = []
+        self._epoch = perf_counter()
+        self._wall_tids: Dict[int, int] = {}
+        self._sim_lanes: set = set()
+        self._meta.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": WALL_PID,
+                "tid": 0,
+                "args": {"name": "wall time (threads)"},
+            }
+        )
+        self._meta.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": SIM_PID,
+                "tid": 0,
+                "args": {"name": "simulated time (workers)"},
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # lanes
+    # ------------------------------------------------------------------
+    def _wall_tid_locked(self) -> int:
+        ident = threading.get_ident()
+        tid = self._wall_tids.get(ident)
+        if tid is None:
+            tid = len(self._wall_tids)
+            self._wall_tids[ident] = tid
+            label = threading.current_thread().name
+            self._meta.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": WALL_PID,
+                    "tid": tid,
+                    "args": {"name": f"{label} (thread {tid})"},
+                }
+            )
+        return tid
+
+    def _sim_lane_locked(self, worker: int) -> int:
+        if worker not in self._sim_lanes:
+            self._sim_lanes.add(worker)
+            self._meta.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": SIM_PID,
+                    "tid": worker,
+                    "args": {"name": f"worker {worker}"},
+                }
+            )
+        return worker
+
+    # ------------------------------------------------------------------
+    # spans
+    # ------------------------------------------------------------------
+    def add_wall_span(self, name: str, start: float, duration: float) -> None:
+        """Record one wall-clock span.  ``start`` is a ``perf_counter``
+        reading; the event lands on the calling thread's lane."""
+        with self._lock:
+            tid = self._wall_tid_locked()
+            self.events.append(
+                {
+                    "name": name,
+                    "ph": "X",
+                    "ts": (start - self._epoch) * 1e6,
+                    "dur": duration * 1e6,
+                    "pid": WALL_PID,
+                    "tid": tid,
+                }
+            )
+
+    def add_sim_span(
+        self, worker: int, kind: str, start: float, end: float
+    ) -> None:
+        """Record one simulated-time interval on worker ``worker``."""
+        if end <= start:
+            return
+        with self._lock:
+            tid = self._sim_lane_locked(int(worker))
+            self.events.append(
+                {
+                    "name": kind,
+                    "ph": "X",
+                    "ts": start * 1e6,
+                    "dur": (end - start) * 1e6,
+                    "pid": SIM_PID,
+                    "tid": tid,
+                }
+            )
+
+    # ------------------------------------------------------------------
+    # output
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """The Chrome trace object: metadata first, spans sorted by
+        ``(pid, tid, ts)`` so every lane is monotone."""
+        with self._lock:
+            spans = sorted(
+                self.events, key=lambda e: (e["pid"], e["tid"], e["ts"])
+            )
+            meta = list(self._meta)
+        return {"traceEvents": meta + spans, "displayTimeUnit": "ms"}
+
+    def write(self, path) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle)
+
+
+def validate_trace(data: Dict) -> int:
+    """Validate a Chrome trace object; returns the span count.
+
+    Raises :class:`ValueError` on: missing/empty ``traceEvents``,
+    missing required keys, negative durations, or non-monotone
+    timestamps within any ``(pid, tid)`` lane.  This is the schema gate
+    the CI smoke job applies to files emitted by ``--trace-out``.
+    """
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        raise ValueError("trace must be a dict with a 'traceEvents' key")
+    events = data["traceEvents"]
+    if not events:
+        raise ValueError("trace has no events")
+    last_ts: Dict = {}
+    spans = 0
+    for event in events:
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                raise ValueError(f"event missing {key!r}: {event}")
+        if event["ph"] == "M":
+            continue
+        if event["ph"] != "X":
+            raise ValueError(f"unexpected event phase {event['ph']!r}")
+        if "ts" not in event:
+            raise ValueError(f"span missing 'ts': {event}")
+        ts = event["ts"]
+        dur = event.get("dur", 0.0)
+        if dur < 0:
+            raise ValueError(f"negative duration: {event}")
+        lane = (event["pid"], event["tid"])
+        if lane in last_ts and ts < last_ts[lane]:
+            raise ValueError(
+                f"timestamps not monotone in lane {lane}: "
+                f"{ts} after {last_ts[lane]}"
+            )
+        last_ts[lane] = ts
+        spans += 1
+    if spans == 0:
+        raise ValueError("trace has metadata but no spans")
+    return spans

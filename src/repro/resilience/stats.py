@@ -104,3 +104,30 @@ class ResilienceStats:
         if not self.restores:
             return None
         return float(np.mean([staleness for _, _, staleness in self.restores]))
+
+    def as_metrics(self) -> Dict[str, float]:
+        """This object under the telemetry layer's metric names.
+
+        :func:`repro.obs.mirror_resilience` writes exactly these pairs
+        into the installed registry (absolute cumulative mirrors), so
+        the fault reports and the telemetry layer can never disagree —
+        both read the same counters.
+        """
+        total_downtime = sum(
+            end - start
+            for intervals in self.downtime.values()
+            for start, end in intervals
+        )
+        return {
+            "exchange.attempted": float(self.attempted_exchanges),
+            "exchange.completed": float(self.completed_exchanges),
+            "exchange.aborted": float(self.aborted_exchanges),
+            "exchange.timeout": float(self.timeout_exchanges),
+            "exchange.lost": float(self.lost_exchanges),
+            "exchange.retries": float(self.retries),
+            "exchange.give_ups": float(self.give_ups),
+            "fault.crashes": float(len(self.crashes)),
+            "fault.recoveries": float(len(self.recoveries)),
+            "fault.restores": float(len(self.restores)),
+            "fault.downtime_s": float(total_downtime),
+        }

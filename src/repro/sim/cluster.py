@@ -58,6 +58,7 @@ from repro.nn.batched import (
 )
 from repro.nn.losses import CrossEntropyLoss
 from repro.nn.optim import SGD
+from repro.obs import phase as obs_phase
 from repro.sim.trainer import TrainingWorker, evaluate_forward
 from repro.utils import parallel
 
@@ -505,7 +506,12 @@ class ClusterTrainer:
                         out=gather_out[selection],
                     )
 
-        parallel.parallel_map(run_block, bounds)
+        # Phase attribution: the pass as one "compute" span on the
+        # calling thread; each block additionally timed as
+        # "compute.block" on whichever pool thread ran it (per-thread
+        # wall-time lanes in the trace).
+        with obs_phase("compute"):
+            parallel.parallel_map(run_block, bounds, phase="compute.block")
         step_workers = (
             self.workers if rank_of is None
             else [self.workers[rank] for rank in rank_of]

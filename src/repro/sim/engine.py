@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.data.datasets import Dataset
 from repro.network.transport import SimulatedNetwork
 from repro.nn.arena import ParameterArena
@@ -345,8 +346,24 @@ def run_experiment(
 
     compute_seconds = 0.0
 
+    # Telemetry (no-cost when off): besides the wall-time phase spans the
+    # deeper layers record, the sync engine lays each round out on a
+    # simulated clock — per-participant compute intervals (when a compute
+    # model is present) followed by the round's barrier communication
+    # time — so per-worker compute/comm/idle lanes and the
+    # ``worker.<rank>.*`` utilization mirrors exist on this engine too.
+    sim_trace = None
+    comm_base = 0.0
+    sim_now = 0.0
+    if obs.enabled():
+        from repro.sim.events import EventTrace
+
+        sim_trace = EventTrace(len(workers))
+        sim_trace.sink = obs.recorder().trace
+
     def snapshot(round_index: int, train_loss: float) -> None:
-        val_loss, val_accuracy = evaluate_consensus(algorithm, validation)
+        with obs.phase("eval"):
+            val_loss, val_accuracy = evaluate_consensus(algorithm, validation)
         comm_seconds = network.total_time_seconds()
         record = RoundRecord(
             round_index=round_index,
@@ -373,18 +390,56 @@ def run_experiment(
         if round_index in milestones:
             for worker in workers:
                 worker.optimizer.lr *= config.lr_gamma
-        running_loss = algorithm.run_round(round_index)
+        with obs.phase("round"):
+            running_loss = algorithm.run_round(round_index)
+        round_compute = 0.0
         if compute_model is not None:
             participants = getattr(algorithm, "last_participants", None)
             if participants is None:
                 participants = range(len(workers))
             steps = getattr(algorithm, "local_steps", 1)
-            compute_seconds += compute_model.round_time(
+            round_compute = compute_model.round_time(
                 round_index, list(participants), steps
             )
+            compute_seconds += round_compute
+        if sim_trace is not None:
+            comm_now = network.total_time_seconds()
+            round_comm = comm_now - comm_base
+            comm_base = comm_now
+            obs.observe("round.comm_s", round_comm)
+            if compute_model is not None:
+                obs.observe("round.compute_s", round_compute)
+            participants = getattr(algorithm, "last_participants", None)
+            if participants is None:
+                participants = range(len(workers))
+            participants = list(participants)
+            steps = getattr(algorithm, "local_steps", 1)
+            start = sim_now
+            compute_end = start
+            if compute_model is not None:
+                # step_time queries are deterministic per (round, rank),
+                # so re-asking for per-worker spans perturbs nothing.
+                for rank in participants:
+                    dt = float(
+                        compute_model.step_time(round_index, rank, steps)
+                    )
+                    sim_trace.add(rank, "compute", start, start + dt)
+                    if start + dt > compute_end:
+                        compute_end = start + dt
+            # The sync barrier: every participant communicates (or waits)
+            # until the round's slowest transfer finishes.
+            for rank in participants:
+                sim_trace.add(rank, "comm", compute_end, compute_end + round_comm)
+            sim_now = compute_end + round_comm
+            obs.mirror_network(network)
+            obs.mirror_arena(getattr(algorithm, "arena", None))
+            obs.end_round(round_index)
         if round_callback is not None:
             round_callback(round_index, running_loss)
         is_last = round_index == config.rounds - 1
         if (round_index + 1) % config.eval_every == 0 or is_last:
             snapshot(round_index, running_loss)
+    if sim_trace is not None:
+        obs.gauge("run.rounds", float(config.rounds))
+        obs.record_worker_timeline(sim_trace, sim_now)
     return result

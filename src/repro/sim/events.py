@@ -35,6 +35,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.data.datasets import Dataset
 from repro.network.metrics import MB, CommunicationTimer, TrafficMeter
 from repro.network.transport import SimulatedNetwork
@@ -169,12 +170,21 @@ class EventTrace:
     def __init__(self, num_workers: int) -> None:
         self.num_workers = num_workers
         self.intervals: List[TraceInterval] = []
+        #: Optional :class:`repro.obs.TraceRecorder` that every interval
+        #: is forwarded to as a simulated-time lane (set by the engine
+        #: when a trace-mode recorder is installed).  This makes the
+        #: event trace the simulated-time backend of the telemetry
+        #: layer: one Chrome trace carries wall-time thread lanes and
+        #: simulated-time worker lanes side by side.
+        self.sink = None
 
     def add(self, worker: int, kind: str, start: float, end: float) -> None:
         if end < start:
             raise ValueError(f"interval ends before it starts: {start} > {end}")
         if end > start:  # zero-length intervals carry no information
             self.intervals.append(TraceInterval(worker, kind, start, end))
+            if self.sink is not None:
+                self.sink.add_sim_span(worker, kind, start, end)
 
     def busy_seconds(
         self, kind: str, horizon: Optional[float] = None
@@ -332,6 +342,8 @@ class EventEngine:
             if record_trace
             else NullTrace(self.num_workers)
         )
+        if record_trace and obs.recorder().trace is not None:
+            self.trace.sink = obs.recorder().trace
         self.events_processed = 0
         # --- fault state -------------------------------------------------
         # The contract: with no plan (or an empty one) the engine performs
@@ -685,10 +697,13 @@ class EventEngine:
             # sampled driver) evaluate their own consensus model; the
             # worker-backed variants go through the shared probe worker.
             evaluator = getattr(algorithm, "evaluate_consensus_model", None)
-            if evaluator is not None:
-                val_loss, val_accuracy = evaluator(validation)
-            else:
-                val_loss, val_accuracy = evaluate_consensus(algorithm, validation)
+            with obs.phase("eval"):
+                if evaluator is not None:
+                    val_loss, val_accuracy = evaluator(validation)
+                else:
+                    val_loss, val_accuracy = evaluate_consensus(
+                        algorithm, validation
+                    )
             staleness = getattr(algorithm, "staleness_log", [])
             result.history.append(
                 TimedRecord(
@@ -706,6 +721,13 @@ class EventEngine:
                     ),
                 )
             )
+            if obs.enabled():
+                # Per-checkpoint snapshot stream: the async engine has
+                # no rounds, so checkpoints index the delta stream.
+                obs.mirror_network(self.network)
+                obs.mirror_resilience(self.resilience)
+                obs.mirror_arena(getattr(algorithm, "arena", None))
+                obs.end_round(len(result.history) - 1)
 
         algorithm.start()
         if record_initial:
@@ -747,6 +769,12 @@ class EventEngine:
         if self.resilience is not None:
             self.resilience.close(float(duration))
             result.resilience = self.resilience
+        if obs.enabled():
+            obs.mirror_network(self.network)
+            obs.mirror_resilience(self.resilience)
+            obs.mirror_arena(getattr(algorithm, "arena", None))
+            obs.gauge("run.events", float(self.events_processed))
+            obs.record_worker_timeline(self.trace, float(duration))
         return result
 
 
@@ -867,7 +895,8 @@ def run_sync_timeline(
     running_loss = float("nan")
 
     def snapshot(round_index: int) -> None:
-        val_loss, val_accuracy = evaluate_consensus(algorithm, validation)
+        with obs.phase("eval"):
+            val_loss, val_accuracy = evaluate_consensus(algorithm, validation)
         result.history.append(
             TimedRecord(
                 time_s=engine.now,
@@ -889,7 +918,8 @@ def run_sync_timeline(
         if round_index in milestones:
             for worker in workers:
                 worker.optimizer.lr *= config.lr_gamma
-        running_loss = algorithm.run_round(round_index)
+        with obs.phase("round"):
+            running_loss = algorithm.run_round(round_index)
 
         # Compute phase: every participant runs its local steps starting
         # at the last barrier; the phase ends when the straggler does.
@@ -938,8 +968,18 @@ def run_sync_timeline(
         comm_total += barrier - compute_end
         engine.now = barrier
 
+        if obs.enabled():
+            obs.observe("round.compute_s", compute_end - start)
+            obs.observe("round.comm_s", barrier - compute_end)
+            obs.mirror_network(network)
+            obs.end_round(round_index)
+
         is_last = round_index == config.rounds - 1
         if (round_index + 1) % config.eval_every == 0 or is_last:
             snapshot(round_index)
     result.horizon = engine.now
+    if obs.enabled():
+        obs.gauge("run.rounds", float(config.rounds))
+        obs.mirror_arena(getattr(algorithm, "arena", None))
+        obs.record_worker_timeline(trace, engine.now)
     return result

@@ -34,6 +34,8 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
+from repro import obs
+
 T = TypeVar("T")
 R = TypeVar("R")
 
@@ -102,7 +104,7 @@ def _get_pool(size: int) -> ThreadPoolExecutor:
 
 
 def parallel_map(
-    fn: Callable[[T], R], items: Sequence[T]
+    fn: Callable[[T], R], items: Sequence[T], phase: Optional[str] = None
 ) -> List[R]:
     """``[fn(item) for item in items]``, blocks run concurrently.
 
@@ -110,8 +112,21 @@ def parallel_map(
     the configured thread count is 1, when there is at most one item,
     or when called from inside a pool worker (nested sections).  Any
     exception from ``fn`` propagates to the caller.
+
+    ``phase`` names an optional telemetry span: with a recorder
+    installed (:mod:`repro.obs`) each item's execution is timed on the
+    thread that ran it, so pool-dispatched blocks attribute their time
+    to the correct wall-time lane.  ``None`` (or telemetry off) adds
+    nothing to the call.
     """
     items = list(items)
+    if phase is not None and obs.enabled():
+        block_fn = fn
+
+        def fn(item: T) -> R:  # noqa: F811 — instrumented shadow
+            with obs.phase(phase):
+                return block_fn(item)
+
     threads = num_threads()
     if (
         threads <= 1
